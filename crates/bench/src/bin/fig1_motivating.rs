@@ -1,0 +1,85 @@
+//! FIG1 — The motivating example (Fig. 1): conditional application of an
+//! expensive function `comp`.
+//!
+//! The SDFS model (Fig. 1a) must run `comp` on every token; the DFS model
+//! (Fig. 1b) bypasses it whenever the cheap predicate `cond` is false.
+//! We sweep the predicate hit-rate and measure throughput and dataflow
+//! activity (an energy proxy: every register/logic event switches a
+//! bounded amount of capacitance in the NCL implementation).
+
+use dfs_core::examples::{conditional_dfs, conditional_dfs_buffered, conditional_sdfs};
+use dfs_core::timed::{simulate_timed, ChoicePolicy, TimedConfig};
+use rap_bench::{banner, num, row};
+
+const COMP_DEPTH: usize = 3;
+const COMP_DELAY: f64 = 5.0;
+const OUT_TOKENS: u64 = 400;
+
+fn main() {
+    banner("Fig. 1 — SDFS (always compute) vs DFS (conditional bypass)");
+    let sdfs = conditional_sdfs(COMP_DEPTH, COMP_DELAY).unwrap();
+    let dfs = conditional_dfs(COMP_DEPTH, COMP_DELAY).unwrap();
+    let buffered = conditional_dfs_buffered(COMP_DEPTH, COMP_DELAY).unwrap();
+
+    let widths = [8usize, 12, 12, 12, 13, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "p(true)".into(),
+                "SDFS thr".into(),
+                "DFS thr".into(),
+                "DFS+fifo".into(),
+                "SDFS events".into(),
+                "DFS events".into(),
+                "fifo events".into(),
+            ],
+            &widths
+        )
+    );
+
+    for p_true in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let run = |dfs_model: &dfs_core::Dfs, out| {
+            let cfg = TimedConfig {
+                max_events: u64::MAX,
+                choice: ChoicePolicy::Bernoulli {
+                    p_true,
+                    seed: 42,
+                },
+                stop_after_marks: Some((out, OUT_TOKENS)),
+            };
+            let r = simulate_timed(dfs_model, &cfg).expect("live model");
+            let thr = r.throughput(20).unwrap_or(0.0);
+            let events: u64 = r.event_counts.iter().sum();
+            (thr, events as f64 / OUT_TOKENS as f64)
+        };
+        // the SDFS model has no free choice: its cost is hit-rate
+        // independent (that is the point of the comparison)
+        let (thr_s, ev_s) = run(&sdfs.dfs, sdfs.output);
+        let (thr_d, ev_d) = run(&dfs.dfs, dfs.output);
+        let (thr_f, ev_f) = run(&buffered.dfs, buffered.output);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{p_true:.2}"),
+                    num(thr_s, 4),
+                    num(thr_d, 4),
+                    num(thr_f, 4),
+                    num(ev_s, 1),
+                    num(ev_d, 1),
+                    num(ev_f, 1),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\nthe DFS pipeline sheds dataflow activity (the NCL energy proxy) at\n\
+         every hit-rate and gains throughput when bypassing dominates. The\n\
+         plain Fig. 1b structure serialises a deep comp at high hit-rates\n\
+         (one ctrl register spans the whole comp latency); the control-FIFO\n\
+         variant (DFS+fifo) restores pipelining while keeping the bypass -\n\
+         exactly the token-balancing workflow of the Fig. 5 analysis."
+    );
+}

@@ -1,0 +1,77 @@
+//! FIG5 — Performance analysis of a reconfigurable pipeline (the analysis
+//! the Workcraft screenshot in Fig. 5 shows): slowest-cycle throughput and
+//! bottleneck nodes, with the measured throughput from the timed simulator
+//! alongside, plus the wagging optimisation (§II-D) as the tool's
+//! suggested remedy for a bottleneck stage.
+
+use dfs_core::perf::analyse;
+use dfs_core::timed::{measure_throughput, ChoicePolicy};
+use dfs_core::wagging::wagged_pipeline;
+use rap_bench::{banner, num};
+use rap_ope::dfs_model::{reconfigurable_ope_dfs, static_ope_dfs};
+
+fn main() {
+    banner("Fig. 5 — dataflow performance analysis (cycles, bottlenecks)");
+
+    for (name, pipe) in [
+        ("static OPE, 6 stages", static_ope_dfs(6).unwrap()),
+        (
+            "reconfigurable OPE, 6 stages, depth 4",
+            reconfigurable_ope_dfs(6, 4).unwrap(),
+        ),
+    ] {
+        println!("\n## {name}");
+        match analyse(&pipe.dfs) {
+            Ok(report) => {
+                println!(
+                    "  analytic throughput bound: {} tokens/unit (period {})",
+                    num(report.throughput, 5),
+                    num(report.period, 3)
+                );
+                println!(
+                    "  critical cycle ({} tokens / {} delay): {}",
+                    report.critical.tokens,
+                    num(report.critical.delay, 2),
+                    report.critical.nodes.join(" -> ")
+                );
+                println!("  bottleneck node: {}", report.critical.bottleneck);
+            }
+            Err(e) => println!("  analysis error: {e}"),
+        }
+        match measure_throughput(&pipe.dfs, pipe.output, 10, 60, ChoicePolicy::AlwaysTrue) {
+            Ok(thr) => println!("  measured steady-state throughput: {}", num(thr, 5)),
+            Err(e) => println!("  simulation: {e}"),
+        }
+    }
+
+    println!("\n## automatic buffer insertion (the Fig. 5 'add registers' remedy)");
+    {
+        use dfs_core::optimize::insert_buffers;
+        use dfs_core::DfsBuilder;
+        // a bubble-starved ring: 3 registers, 1 token -> period 6d
+        let mut b = DfsBuilder::new();
+        let r0 = b.register("r0").marked().build();
+        let r1 = b.register("r1").build();
+        let r2 = b.register("r2").build();
+        b.connect(r0, r1);
+        b.connect(r1, r2);
+        b.connect(r2, r0);
+        let ring = b.finish().unwrap();
+        let out = insert_buffers(&ring, 2).unwrap();
+        println!(
+            "  3-register ring: throughput {} -> {} by inserting {:?}",
+            num(out.before, 4),
+            num(out.after, 4),
+            out.inserted
+        );
+    }
+
+    println!("\n## wagging a bottleneck stage (Brej [15], §II-D)");
+    for ways in [1usize, 2, 3] {
+        let w = wagged_pipeline(ways, 1, 8.0).unwrap();
+        let thr = measure_throughput(&w.dfs, w.output, 6, 30, ChoicePolicy::AlwaysTrue)
+            .expect("live wagged pipeline");
+        println!("  {ways}-way: measured throughput {}", num(thr, 5));
+    }
+    println!("  (the rotating push/pop rings distribute tokens round-robin)");
+}

@@ -1,0 +1,56 @@
+//! Shared helpers for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see `DESIGN.md` §4 for the index
+//! and `EXPERIMENTS.md` for recorded results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's reference measurements (static pipeline at nominal voltage,
+/// §IV): 1.22 s and 2.74 mJ for 16M items.
+pub const REF_TIME_S: f64 = 1.22;
+/// Reference energy (J).
+pub const REF_ENERGY_J: f64 = 2.74e-3;
+/// Items per measured run.
+pub const ITEMS: u64 = 16_000_000;
+/// Nominal supply voltage (V).
+pub const V_NOMINAL: f64 = 1.2;
+
+/// Prints a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Formats a float with the given precision, or `inf`/`-` for non-finite.
+#[must_use]
+pub fn num(x: f64, digits: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.digits$}")
+    } else {
+        "frozen".to_string()
+    }
+}
+
+/// A simple banner for experiment output.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(f64::INFINITY, 2), "frozen");
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,98 @@
+//! Graphviz export of DFS models.
+//!
+//! Rendering conventions follow the paper's Fig. 2: logic nodes are plain
+//! boxes, registers are boxes with a marking dot, and the dynamic kinds are
+//! annotated with their type and token value. Guard arcs (from control
+//! registers) are drawn dashed.
+
+use crate::graph::Dfs;
+use crate::node::{InitialMarking, NodeKind, TokenValue};
+use std::fmt::Write as _;
+
+/// Renders `dfs` as a DOT digraph (deterministic order, snapshot-testable).
+#[must_use]
+pub fn to_dot(dfs: &Dfs) -> String {
+    let mut out = String::new();
+    out.push_str("digraph dfs {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for n in dfs.nodes() {
+        let node = dfs.node(n);
+        let (shape, style) = match node.kind {
+            NodeKind::Logic => ("box", ""),
+            NodeKind::Register => ("box", ", style=rounded"),
+            NodeKind::Control => ("diamond", ""),
+            NodeKind::Push => ("house", ""),
+            NodeKind::Pop => ("invhouse", ""),
+        };
+        let marking = match node.initial {
+            InitialMarking::Empty => String::new(),
+            InitialMarking::Marked => "\\n●".to_string(),
+            InitialMarking::MarkedWith(TokenValue::True) => "\\n●T".to_string(),
+            InitialMarking::MarkedWith(TokenValue::False) => "\\n●F".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}{style}, label=\"{}{marking}\"];",
+            escape(&node.name),
+            escape(&node.name),
+        );
+    }
+    for n in dfs.nodes() {
+        for e in dfs.succs(n) {
+            let guard = dfs.kind(n) == NodeKind::Control && dfs.kind(e.node) != NodeKind::Control;
+            let mut attrs = Vec::new();
+            if guard {
+                attrs.push("style=dashed".to_string());
+            }
+            if e.inverted {
+                attrs.push("arrowhead=odot".to_string());
+            }
+            let attr_str = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", attrs.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\"{attr_str};",
+                escape(&dfs.node(n).name),
+                escape(&dfs.node(e.node).name)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsBuilder;
+
+    #[test]
+    fn dot_renders_all_kinds_and_guard_style() {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let l = b.logic("f").build();
+        let c = b.control("ctrl").marked_with(TokenValue::False).build();
+        let p = b.push("filt").build();
+        let q = b.pop("out").build();
+        b.connect(i, l);
+        b.connect(l, c);
+        b.connect(i, p);
+        b.connect(c, p);
+        b.connect_inverted(c, q);
+        let dfs = b.finish().unwrap();
+        let dot = to_dot(&dfs);
+        assert!(dot.contains("\"ctrl\" [shape=diamond"));
+        assert!(dot.contains("\"filt\" [shape=house"));
+        assert!(dot.contains("\"out\" [shape=invhouse"));
+        assert!(dot.contains("●F"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("arrowhead=odot"));
+        assert!(dot.starts_with("digraph dfs {"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Labelled transition system of the direct DFS semantics.
+//!
+//! Exhaustive exploration of [`crate::DfsState`]s under
+//! [`Dfs::enabled_events`]. This is the reference object for the
+//! PN-translation bisimulation tests, and the substrate of the verification
+//! queries that do not go through the Petri-net backend.
+
+use crate::graph::Dfs;
+use crate::semantics::Event;
+use crate::state::DfsState;
+use crate::DfsError;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Dense id of a state in an [`Lts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LtsStateId(u32);
+
+impl LtsStateId {
+    /// Dense index of the state (0 = initial).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The reachable labelled transition system of a DFS model.
+#[derive(Debug, Clone)]
+pub struct Lts {
+    states: Vec<DfsState>,
+    edges: Vec<Vec<(Event, LtsStateId)>>,
+    parents: Vec<Option<(LtsStateId, Event)>>,
+    truncated: bool,
+}
+
+impl Lts {
+    /// Explores the reachable states of `dfs`, up to `max_states`.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::StateBudgetExceeded`] when the bound is hit.
+    pub fn explore(dfs: &Dfs, max_states: usize) -> Result<Lts, DfsError> {
+        let lts = Self::explore_truncated(dfs, max_states);
+        if lts.truncated {
+            return Err(DfsError::StateBudgetExceeded {
+                budget: max_states,
+            });
+        }
+        Ok(lts)
+    }
+
+    /// Like [`Lts::explore`] but returns the partial LTS on budget overrun.
+    #[must_use]
+    pub fn explore_truncated(dfs: &Dfs, max_states: usize) -> Lts {
+        let s0 = DfsState::initial(dfs);
+        let mut index: HashMap<DfsState, LtsStateId> = HashMap::new();
+        let mut states = vec![s0.clone()];
+        let mut edges: Vec<Vec<(Event, LtsStateId)>> = vec![Vec::new()];
+        let mut parents: Vec<Option<(LtsStateId, Event)>> = vec![None];
+        index.insert(s0, LtsStateId(0));
+        let mut queue = VecDeque::from([LtsStateId(0)]);
+        let mut truncated = false;
+
+        'bfs: while let Some(s) = queue.pop_front() {
+            let state = states[s.index()].clone();
+            for ev in dfs.enabled_events(&state) {
+                let next = dfs.apply(&state, ev);
+                let succ = match index.entry(next) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        if states.len() >= max_states {
+                            truncated = true;
+                            break 'bfs;
+                        }
+                        let id = LtsStateId(states.len() as u32);
+                        states.push(e.key().clone());
+                        edges.push(Vec::new());
+                        parents.push(Some((s, ev)));
+                        queue.push_back(id);
+                        e.insert(id);
+                        id
+                    }
+                };
+                edges[s.index()].push((ev, succ));
+            }
+        }
+
+        Lts {
+            states,
+            edges,
+            parents,
+            truncated,
+        }
+    }
+
+    /// Number of reachable states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always false (the initial state exists); pairs with [`Lts::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Was exploration cut short by the state budget?
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The initial state id.
+    #[must_use]
+    pub fn initial(&self) -> LtsStateId {
+        LtsStateId(0)
+    }
+
+    /// The state snapshot for `id`.
+    #[must_use]
+    pub fn state(&self, id: LtsStateId) -> &DfsState {
+        &self.states[id.index()]
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = LtsStateId> {
+        (0..self.states.len() as u32).map(LtsStateId)
+    }
+
+    /// Outgoing labelled edges of `id`.
+    #[must_use]
+    pub fn successors(&self, id: LtsStateId) -> &[(Event, LtsStateId)] {
+        &self.edges[id.index()]
+    }
+
+    /// Event sequence from the initial state to `id`.
+    #[must_use]
+    pub fn trace_to(&self, id: LtsStateId) -> Vec<Event> {
+        let mut rev = Vec::new();
+        let mut cur = id;
+        while let Some((prev, ev)) = self.parents[cur.index()] {
+            rev.push(ev);
+            cur = prev;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// States with no outgoing edges (deadlocks).
+    #[must_use]
+    pub fn deadlocks(&self) -> Vec<LtsStateId> {
+        self.states()
+            .filter(|&s| self.successors(s).is_empty())
+            .collect()
+    }
+
+    /// Finds a state satisfying `pred`, in BFS (shortest-trace) order.
+    pub fn find_state(&self, mut pred: impl FnMut(&DfsState) -> bool) -> Option<LtsStateId> {
+        self.states().find(|&s| pred(self.state(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsBuilder;
+    use crate::node::TokenValue;
+
+    /// Closed three-register ring — the paper notes three registers are the
+    /// minimum for a token to oscillate (§III, control loops), and the same
+    /// holds for plain rings under the spread-token semantics.
+    fn ring() -> Dfs {
+        let mut b = DfsBuilder::new();
+        let r0 = b.register("a").marked().build();
+        let r1 = b.register("b").build();
+        let r2 = b.register("c").build();
+        b.connect(r0, r1);
+        b.connect(r1, r2);
+        b.connect(r2, r0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn two_register_ring_deadlocks() {
+        // With fewer than three registers a token cannot oscillate: the
+        // receiving register's R-postset is the marked sender itself.
+        let mut b = DfsBuilder::new();
+        let r0 = b.register("a").marked().build();
+        let r1 = b.register("b").build();
+        b.connect(r0, r1);
+        b.connect(r1, r0);
+        let dfs = b.finish().unwrap();
+        let lts = Lts::explore(&dfs, 1_000).unwrap();
+        assert!(!lts.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn ring_is_live_and_bounded() {
+        let dfs = ring();
+        let lts = Lts::explore(&dfs, 10_000).unwrap();
+        assert!(lts.deadlocks().is_empty());
+        assert!(lts.len() > 2);
+        // traces replay
+        for s in lts.states() {
+            let mut st = DfsState::initial(&dfs);
+            for ev in lts.trace_to(s) {
+                st = dfs.apply(&st, ev);
+            }
+            assert_eq!(&st, lts.state(s));
+        }
+    }
+
+    #[test]
+    fn budget_overrun_reports() {
+        let dfs = ring();
+        assert!(matches!(
+            Lts::explore(&dfs, 2),
+            Err(crate::DfsError::StateBudgetExceeded { budget: 2 })
+        ));
+        let partial = Lts::explore_truncated(&dfs, 2);
+        assert!(partial.is_truncated());
+        assert_eq!(partial.len(), 2);
+    }
+
+    #[test]
+    fn mismatch_init_deadlocks() {
+        // push guarded by two controls initialised inconsistently — the
+        // §III-A "incorrect initialisation" bug class
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let c1 = b.control("c1").marked_with(TokenValue::True).build();
+        let c2 = b.control("c2").marked_with(TokenValue::False).build();
+        let p = b.push("p").build();
+        let o = b.register("out").build();
+        b.connect(i, p);
+        b.connect(c1, p);
+        b.connect(c2, p);
+        b.connect(p, o);
+        let dfs = b.finish().unwrap();
+        let lts = Lts::explore(&dfs, 10_000).unwrap();
+        assert!(!lts.deadlocks().is_empty());
+        let mismatch = lts.find_state(|s| dfs.has_control_mismatch(s));
+        assert!(mismatch.is_some());
+    }
+}

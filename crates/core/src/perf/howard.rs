@@ -1,0 +1,318 @@
+//! Howard's policy-iteration algorithm for the maximum cycle ratio.
+//!
+//! Provided as the fast path (near-linear in practice) alongside the
+//! binary-search solver in [`super::mcr`]; the two are cross-checked in the
+//! tests and by the `perf` integration suite. See Dasdan's survey of MCR
+//! algorithms for background.
+
+use super::mcr::McrSolution;
+use super::EventGraph;
+use crate::DfsError;
+
+const EPS: f64 = 1e-9;
+
+/// Computes the maximum cycle ratio by policy iteration.
+///
+/// # Errors
+///
+/// [`DfsError::TokenFreeCycle`] when a token-free positive-delay cycle makes
+/// the period infinite.
+pub fn howard_mcr(g: &EventGraph) -> Result<McrSolution, DfsError> {
+    let n = g.vertices.len();
+    // adjacency of the cyclic core: iteratively drop vertices without
+    // outgoing arcs — they cannot lie on cycles
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n]; // arc indices
+    for (i, a) in g.arcs.iter().enumerate() {
+        out[a.from].push(i);
+    }
+    let mut alive = vec![true; n];
+    loop {
+        let mut dropped = false;
+        for v in 0..n {
+            if alive[v]
+                && out[v]
+                    .iter()
+                    .all(|&ai| !alive[g.arcs[ai].to])
+            {
+                alive[v] = false;
+                dropped = true;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+    if !alive.iter().any(|&a| a) {
+        return Ok(McrSolution {
+            ratio: 0.0,
+            cycle: Vec::new(),
+        });
+    }
+
+    // initial policy: any arc into an alive vertex (prefer max weight)
+    let mut policy = vec![usize::MAX; n];
+    for v in 0..n {
+        if !alive[v] {
+            continue;
+        }
+        policy[v] = out[v]
+            .iter()
+            .copied()
+            .filter(|&ai| alive[g.arcs[ai].to])
+            .max_by(|&x, &y| g.arcs[x].weight.total_cmp(&g.arcs[y].weight))
+            .expect("alive vertex has an alive successor");
+    }
+
+    let mut lambda = vec![f64::NEG_INFINITY; n];
+    let mut value = vec![0.0f64; n];
+
+    for _iter in 0..10_000 {
+        evaluate_policy(g, &alive, &policy, &mut lambda, &mut value)?;
+        let mut improved = false;
+        // phase 1: improve reachable cycle ratio
+        for (ai, a) in g.arcs.iter().enumerate() {
+            if alive[a.from] && alive[a.to] && lambda[a.to] > lambda[a.from] + EPS {
+                policy[a.from] = ai;
+                lambda[a.from] = lambda[a.to];
+                improved = true;
+            }
+        }
+        if !improved {
+            // phase 2: improve values at equal ratio
+            for (ai, a) in g.arcs.iter().enumerate() {
+                if !alive[a.from] || !alive[a.to] {
+                    continue;
+                }
+                if (lambda[a.to] - lambda[a.from]).abs() <= EPS {
+                    let cand = value[a.to] + a.weight - lambda[a.from] * f64::from(a.tokens);
+                    if cand > value[a.from] + EPS {
+                        policy[a.from] = ai;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // extract the best cycle
+    let best = (0..n)
+        .filter(|&v| alive[v])
+        .max_by(|&x, &y| lambda[x].total_cmp(&lambda[y]))
+        .expect("nonempty core");
+    let cycle = policy_cycle(g, &policy, best);
+    Ok(McrSolution {
+        ratio: lambda[best],
+        cycle,
+    })
+}
+
+/// Evaluates the current policy: per-vertex cycle ratio and bias values.
+fn evaluate_policy(
+    g: &EventGraph,
+    alive: &[bool],
+    policy: &[usize],
+    lambda: &mut [f64],
+    value: &mut [f64],
+) -> Result<(), DfsError> {
+    let n = alive.len();
+    let mut visited = vec![0u32; n]; // 0 = unvisited, else pass id
+    let mut pass = 0u32;
+    let mut order = Vec::new();
+    for start in 0..n {
+        if !alive[start] || visited[start] != 0 {
+            continue;
+        }
+        pass += 1;
+        // walk the functional graph until a visited vertex
+        order.clear();
+        let mut v = start;
+        while alive[v] && visited[v] == 0 {
+            visited[v] = pass;
+            order.push(v);
+            v = g.arcs[policy[v]].to;
+        }
+        if visited[v] == pass {
+            // found a new cycle starting at v
+            let cstart = order.iter().position(|&x| x == v).expect("on path");
+            let cycle = &order[cstart..];
+            let mut w = 0.0;
+            let mut t = 0u64;
+            for &u in cycle {
+                let a = &g.arcs[policy[u]];
+                w += a.weight;
+                t += u64::from(a.tokens);
+            }
+            if t == 0 {
+                if w > 0.0 {
+                    return Err(DfsError::TokenFreeCycle {
+                        cycle: cycle.iter().map(|u| format!("v{u}")).collect(),
+                    });
+                }
+                // zero/zero cycle: treat as ratio 0
+            }
+            let ratio = if t > 0 { w / t as f64 } else { 0.0 };
+            for &u in cycle {
+                lambda[u] = ratio;
+            }
+            recompute_path_values(g, policy, cycle, ratio, value);
+        }
+        // tree part: propagate from the (now evaluated) junction vertex
+        let junction = v;
+        let upto = order
+            .iter()
+            .position(|&x| x == junction)
+            .unwrap_or(order.len());
+        for &u in order[..upto].iter().rev() {
+            let a = &g.arcs[policy[u]];
+            lambda[u] = lambda[a.to];
+            value[u] = value[a.to] + a.weight - lambda[u] * f64::from(a.tokens);
+        }
+    }
+    Ok(())
+}
+
+/// Sets bias values consistently around a policy cycle with ratio `ratio`,
+/// anchoring the first vertex at 0.
+fn recompute_path_values(
+    g: &EventGraph,
+    policy: &[usize],
+    cycle: &[usize],
+    ratio: f64,
+    value: &mut [f64],
+) {
+    if cycle.is_empty() {
+        return;
+    }
+    let root = cycle[0];
+    value[root] = 0.0;
+    // forward walk: value[succ] = value[u] − (w − λt), anchored at the root
+    let mut u = root;
+    loop {
+        let a = &g.arcs[policy[u]];
+        let next = a.to;
+        if next == root {
+            break;
+        }
+        value[next] = value[u] - (a.weight - ratio * f64::from(a.tokens));
+        u = next;
+    }
+}
+
+/// The cycle reached by following the policy from `start`.
+fn policy_cycle(g: &EventGraph, policy: &[usize], start: usize) -> Vec<usize> {
+    let n = policy.len();
+    let mut seen = vec![false; n];
+    let mut v = start;
+    while !seen[v] {
+        seen[v] = true;
+        v = g.arcs[policy[v]].to;
+    }
+    let root = v;
+    let mut cycle = vec![root];
+    let mut cur = g.arcs[policy[root]].to;
+    while cur != root {
+        cycle.push(cur);
+        cur = g.arcs[policy[cur]].to;
+    }
+    cycle.push(root);
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::mcr::{brute_force_mcr, maximum_cycle_ratio};
+    use crate::perf::{EventArc, EventGraph, EventVertex};
+    use crate::NodeId;
+
+    fn graph(n: usize, arcs: &[(usize, usize, f64, u32)]) -> EventGraph {
+        EventGraph {
+            vertices: (0..n)
+                .map(|i| EventVertex {
+                    node: NodeId::from_index(i / 2),
+                    plus: i % 2 == 0,
+                })
+                .collect(),
+            arcs: arcs
+                .iter()
+                .map(|&(from, to, weight, tokens)| EventArc {
+                    from,
+                    to,
+                    weight,
+                    tokens,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn simple_two_cycle_graph() {
+        let g = graph(
+            4,
+            &[
+                (0, 1, 2.0, 1),
+                (1, 0, 2.0, 1),
+                (2, 3, 9.0, 1),
+                (3, 2, 1.0, 1),
+                (1, 2, 1.0, 1),
+            ],
+        );
+        let sol = howard_mcr(&g).unwrap();
+        assert!((sol.ratio - 5.0).abs() < 1e-6, "ratio {}", sol.ratio);
+    }
+
+    #[test]
+    fn acyclic_graph_has_zero_ratio() {
+        let g = graph(4, &[(0, 1, 3.0, 1), (1, 2, 3.0, 0)]);
+        let sol = howard_mcr(&g).unwrap();
+        assert_eq!(sol.ratio, 0.0);
+        assert!(sol.cycle.is_empty());
+    }
+
+    #[test]
+    fn token_free_cycle_errors() {
+        let g = graph(2, &[(0, 1, 1.0, 0), (1, 0, 2.0, 0)]);
+        assert!(howard_mcr(&g).is_err());
+    }
+
+    #[test]
+    fn agrees_with_binary_search_and_brute_force() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..30 {
+            let n = 8;
+            let mut arcs = Vec::new();
+            for _ in 0..16 {
+                let from = (rnd() % n as u64) as usize;
+                let to = (rnd() % n as u64) as usize;
+                let weight = (rnd() % 12) as f64;
+                let tokens = (rnd() % 2 + 1) as u32;
+                arcs.push((from, to, weight, tokens));
+            }
+            let g = graph(n, &arcs);
+            let Some(brute) = brute_force_mcr(&g, 16) else {
+                continue;
+            };
+            let howard = howard_mcr(&g).unwrap();
+            let binary = maximum_cycle_ratio(&g).unwrap();
+            assert!(
+                (howard.ratio - brute).abs() < 1e-6,
+                "case {case}: howard {} vs brute {brute}",
+                howard.ratio
+            );
+            assert!(
+                (binary.ratio - brute).abs() < 1e-6,
+                "case {case}: binary {} vs brute {brute}",
+                binary.ratio
+            );
+        }
+    }
+}

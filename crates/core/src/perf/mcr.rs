@@ -1,0 +1,434 @@
+//! Maximum-cycle-ratio computation by parametric binary search.
+//!
+//! For a cycle `C` with total delay `W(C)` and total token offset `T(C)`,
+//! the steady-state period of the max-plus system is
+//! `λ* = max_C W(C) / T(C)`. We search for `λ*` by testing, for a candidate
+//! `λ`, whether the reweighted graph with arc weights `w − λ·t` contains a
+//! positive cycle (Bellman–Ford over longest paths): if yes, `λ < λ*`.
+//!
+//! Cycles with `T(C) = 0` and `W(C) > 0` make the period infinite — the
+//! model has a structural deadlock; they are detected first via the
+//! strongly-connected components of the zero-token subgraph.
+
+use super::EventGraph;
+use crate::DfsError;
+
+/// Result of the MCR computation.
+#[derive(Debug, Clone)]
+pub struct McrSolution {
+    /// The maximum cycle ratio (steady-state period).
+    pub ratio: f64,
+    /// A critical cycle as a vertex sequence `v0, v1, …, v0`.
+    pub cycle: Vec<usize>,
+}
+
+/// Computes the maximum cycle ratio of `g`.
+///
+/// # Errors
+///
+/// [`DfsError::TokenFreeCycle`] when a token-free positive-delay cycle
+/// exists (infinite period).
+pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, DfsError> {
+    if let Some(cycle) = token_free_cycle(g) {
+        return Err(DfsError::TokenFreeCycle {
+            cycle: cycle.iter().map(|v| format!("v{v}")).collect(),
+        });
+    }
+    let n = g.vertices.len();
+    if n == 0 || g.arcs.is_empty() {
+        return Ok(McrSolution {
+            ratio: 0.0,
+            cycle: Vec::new(),
+        });
+    }
+
+    // Bounds: λ* ≤ Σ weights; λ* ≥ 0 (weights are non-negative).
+    let mut lo = 0.0f64;
+    let mut hi: f64 = g.arcs.iter().map(|a| a.weight).sum::<f64>().max(1.0);
+
+    // binary search to fixed relative precision
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if has_positive_cycle(g, mid).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+
+    let ratio = 0.5 * (lo + hi);
+    // extract a witness cycle at a λ slightly below λ* (any positive cycle
+    // there has ratio in (λ, λ*], i.e. within the search tolerance of λ*)
+    let probe = (ratio - (hi - lo).max(1e-9) - 1e-9).max(-1.0);
+    let cycle = has_positive_cycle(g, probe).unwrap_or_default();
+    Ok(McrSolution { ratio, cycle })
+}
+
+/// Total (weight, tokens) along a vertex cycle `v0, …, vk = v0`.
+#[must_use]
+pub fn cycle_ratio(g: &EventGraph, cycle: &[usize]) -> (f64, u32) {
+    let mut w = 0.0;
+    let mut t = 0u32;
+    for pair in cycle.windows(2) {
+        // pick the best arc between consecutive vertices (max weight, min
+        // tokens): the cycle extraction follows real arcs, duplicates are
+        // resolved conservatively
+        if let Some(a) = g
+            .arcs
+            .iter()
+            .filter(|a| a.from == pair[0] && a.to == pair[1])
+            .max_by(|x, y| {
+                (x.weight - f64::from(x.tokens))
+                    .total_cmp(&(y.weight - f64::from(y.tokens)))
+            })
+        {
+            w += a.weight;
+            t += a.tokens;
+        }
+    }
+    (w, t)
+}
+
+/// Longest-path Bellman–Ford on weights `w − λ·t`; returns a positive cycle
+/// as a vertex list `v0, …, v0` if one exists.
+fn has_positive_cycle(g: &EventGraph, lambda: f64) -> Option<Vec<usize>> {
+    let n = g.vertices.len();
+    let mut dist = vec![0.0f64; n];
+    let mut pred = vec![usize::MAX; n];
+    let mut changed_vertex = None;
+    for _ in 0..n {
+        changed_vertex = None;
+        for a in &g.arcs {
+            let w = a.weight - lambda * f64::from(a.tokens);
+            if dist[a.from] + w > dist[a.to] + 1e-15 {
+                dist[a.to] = dist[a.from] + w;
+                pred[a.to] = a.from;
+                changed_vertex = Some(a.to);
+            }
+        }
+        if changed_vertex.is_none() {
+            return None;
+        }
+    }
+    // a relaxation in the n-th pass witnesses a positive cycle; walk back n
+    // steps to land on the cycle, then trace it
+    let mut v = changed_vertex?;
+    for _ in 0..n {
+        v = pred[v];
+    }
+    let start = v;
+    let mut cycle = vec![start];
+    let mut cur = pred[start];
+    while cur != start {
+        cycle.push(cur);
+        cur = pred[cur];
+    }
+    cycle.push(start);
+    cycle.reverse();
+    Some(cycle)
+}
+
+/// Finds a cycle with zero total tokens and positive total weight, if any.
+fn token_free_cycle(g: &EventGraph) -> Option<Vec<usize>> {
+    // SCCs of the zero-token subgraph (Tarjan, iterative)
+    let n = g.vertices.len();
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for a in &g.arcs {
+        if a.tokens == 0 {
+            adj[a.from].push((a.to, a.weight));
+        }
+    }
+    let scc = tarjan_scc(&adj);
+    // a zero-token cycle with positive weight exists iff some SCC contains
+    // an internal arc with positive weight, or any internal arc at all and
+    // we only care about positive-delay cycles
+    for a in &g.arcs {
+        if a.tokens == 0 && a.weight > 0.0 && scc[a.from] == scc[a.to] {
+            // find an actual cycle through this arc via BFS back from `to`
+            // to `from` inside the zero-token subgraph
+            if let Some(mut path) = bfs_path(&adj, a.to, a.from, scc[a.from], &scc) {
+                let mut cycle = vec![a.from];
+                cycle.append(&mut path);
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+fn bfs_path(
+    adj: &[Vec<(usize, f64)>],
+    from: usize,
+    to: usize,
+    comp: usize,
+    scc: &[usize],
+) -> Option<Vec<usize>> {
+    use std::collections::VecDeque;
+    let n = adj.len();
+    let mut pred = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::from([from]);
+    seen[from] = true;
+    while let Some(v) = q.pop_front() {
+        if v == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = pred[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(w, _) in &adj[v] {
+            if !seen[w] && scc[w] == comp {
+                seen[w] = true;
+                pred[w] = v;
+                q.push_back(w);
+            }
+        }
+    }
+    // from == to case: self component, single vertex with self-loop
+    None
+}
+
+fn tarjan_scc(adj: &[Vec<(usize, f64)>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // iterative Tarjan
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    for s in 0..n {
+        if index[s] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(s)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let mut descend = None;
+                    while i < adj[v].len() {
+                        let w = adj[v][i].0;
+                        i += 1;
+                        if index[w] == usize::MAX {
+                            descend = Some(w);
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if let Some(w) = descend {
+                        call.push(Frame::Resume(v, i));
+                        call.push(Frame::Enter(w));
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                    // propagate low to parent
+                    if let Some(Frame::Resume(parent, _)) = call.last() {
+                        let parent = *parent;
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Brute-force MCR by enumerating all simple cycles (test oracle; only
+/// usable on small graphs).
+#[must_use]
+pub fn brute_force_mcr(g: &EventGraph, max_len: usize) -> Option<f64> {
+    let n = g.vertices.len();
+    let mut best: Option<f64> = None;
+    let mut adj: Vec<Vec<&super::EventArc>> = vec![Vec::new(); n];
+    for a in &g.arcs {
+        adj[a.from].push(a);
+    }
+    // DFS from each vertex, only visiting vertices >= start to avoid
+    // duplicate cycles
+    fn dfs(
+        start: usize,
+        v: usize,
+        w: f64,
+        t: u32,
+        len: usize,
+        max_len: usize,
+        adj: &[Vec<&super::EventArc>],
+        visited: &mut Vec<bool>,
+        best: &mut Option<f64>,
+    ) {
+        if len > max_len {
+            return;
+        }
+        for a in &adj[v] {
+            if a.to == start {
+                if t + a.tokens > 0 {
+                    let ratio = (w + a.weight) / f64::from(t + a.tokens);
+                    if best.map_or(true, |b| ratio > b) {
+                        *best = Some(ratio);
+                    }
+                }
+                continue;
+            }
+            if a.to > start && !visited[a.to] {
+                visited[a.to] = true;
+                dfs(
+                    start,
+                    a.to,
+                    w + a.weight,
+                    t + a.tokens,
+                    len + 1,
+                    max_len,
+                    adj,
+                    visited,
+                    best,
+                );
+                visited[a.to] = false;
+            }
+        }
+    }
+    let mut visited = vec![false; n];
+    for s in 0..n {
+        visited[s] = true;
+        dfs(s, s, 0.0, 0, 0, max_len, &adj, &mut visited, &mut best);
+        visited[s] = false;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{EventArc, EventGraph, EventVertex};
+    use crate::NodeId;
+
+    fn graph(n: usize, arcs: &[(usize, usize, f64, u32)]) -> EventGraph {
+        EventGraph {
+            vertices: (0..n)
+                .map(|i| EventVertex {
+                    node: NodeId::from_index(i / 2),
+                    plus: i % 2 == 0,
+                })
+                .collect(),
+            arcs: arcs
+                .iter()
+                .map(|&(from, to, weight, tokens)| EventArc {
+                    from,
+                    to,
+                    weight,
+                    tokens,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_cycle_ratio() {
+        let g = graph(2, &[(0, 1, 3.0, 1), (1, 0, 2.0, 1)]);
+        let sol = maximum_cycle_ratio(&g).unwrap();
+        assert!((sol.ratio - 2.5).abs() < 1e-9, "ratio {}", sol.ratio);
+    }
+
+    #[test]
+    fn picks_the_worst_of_two_cycles() {
+        // cycle A: ratio 2; cycle B: ratio 5
+        let g = graph(
+            4,
+            &[
+                (0, 1, 2.0, 1),
+                (1, 0, 2.0, 1),
+                (2, 3, 9.0, 1),
+                (3, 2, 1.0, 1),
+            ],
+        );
+        let sol = maximum_cycle_ratio(&g).unwrap();
+        assert!((sol.ratio - 5.0).abs() < 1e-9, "ratio {}", sol.ratio);
+        let brute = brute_force_mcr(&g, 8).unwrap();
+        assert!((brute - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_free_cycle_detected() {
+        let g = graph(2, &[(0, 1, 1.0, 0), (1, 0, 1.0, 0)]);
+        assert!(maximum_cycle_ratio(&g).is_err());
+    }
+
+    #[test]
+    fn zero_weight_token_free_cycle_is_harmless() {
+        // tokens 0, weight 0: ratio 0/0 — not a deadlock, and another cycle
+        // determines the period
+        let g = graph(
+            4,
+            &[
+                (0, 1, 0.0, 0),
+                (1, 0, 0.0, 0),
+                (2, 3, 4.0, 1),
+                (3, 2, 0.0, 1),
+            ],
+        );
+        let sol = maximum_cycle_ratio(&g).unwrap();
+        assert!((sol.ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        // deterministic pseudo-random graphs
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let n = 6;
+            let mut arcs = Vec::new();
+            for _ in 0..12 {
+                let from = (rnd() % n as u64) as usize;
+                let to = (rnd() % n as u64) as usize;
+                let weight = (rnd() % 10) as f64;
+                let tokens = (rnd() % 2 + 1) as u32; // ≥1: avoid deadlocks
+                arcs.push((from, to, weight, tokens));
+            }
+            let g = graph(n, &arcs);
+            let Some(brute) = brute_force_mcr(&g, 12) else {
+                continue;
+            };
+            let sol = maximum_cycle_ratio(&g).unwrap();
+            assert!(
+                (sol.ratio - brute).abs() < 1e-6,
+                "mcr {} vs brute {brute}",
+                sol.ratio
+            );
+        }
+    }
+}

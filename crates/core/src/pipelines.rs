@@ -1,0 +1,327 @@
+//! The pipeline design methodology of §III (Fig. 6).
+//!
+//! A generic `N`-stage pipeline (Fig. 6a) has per-stage *local* channels
+//! (stage-to-stage dataflow) and *global* channels (a common input broadcast
+//! to every stage, and an aggregated output). Each stage applies `f` to its
+//! local input and `g` to the pair (local result, global input), producing a
+//! global output (Fig. 6b).
+//!
+//! The reconfigurable stage (Fig. 6c) makes the interfaces dynamic:
+//!
+//! * `local_in` is a **push** guarded by the 3-register `local_ctrl` loop;
+//! * `global_in` is a **push** and `global_out` a **pop**, both guarded by
+//!   the 3-register `global_ctrl` loop.
+//!
+//! Initialising the loops with `True` includes the stage; `False` excludes
+//! it: the pushes destroy incoming tokens and the pop emits empty tokens so
+//! the output aggregation still completes. The two loops are separate for
+//! the reason the paper hints at ("a token starts oscillating in local_ctrl
+//! only if the previous stage is included"): in a stage whose predecessor is
+//! excluded no local data ever arrives, so `local_ctrl` simply never
+//! oscillates — harmlessly — while `global_ctrl` keeps synchronising the
+//! global interfaces, which see a token every iteration regardless of the
+//! configuration.
+//!
+//! The first reconfigurable stage after an always-included one may share a
+//! single loop for both interfaces (the `s2` optimisation of Fig. 7) —
+//! enabled with [`PipelineSpec::share_ctrl_after_static`].
+
+use crate::builder::DfsBuilder;
+use crate::graph::Dfs;
+use crate::node::{NodeId, TokenValue};
+use crate::DfsError;
+
+/// Per-node latencies used when building pipelines (arbitrary units).
+#[derive(Debug, Clone, Copy)]
+pub struct StageDelays {
+    /// Latency of the `f` logic (the stage computation).
+    pub f: f64,
+    /// Latency of the `g` logic (the global aggregation step).
+    pub g: f64,
+    /// Latency of every register.
+    pub register: f64,
+    /// Latency of control-loop registers.
+    pub control: f64,
+}
+
+impl Default for StageDelays {
+    fn default() -> Self {
+        StageDelays {
+            f: 2.0,
+            g: 1.0,
+            register: 1.0,
+            control: 0.5,
+        }
+    }
+}
+
+/// What to build.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// Number of stages `N`.
+    pub stages: usize,
+    /// Per stage: `true` = reconfigurable (Fig. 6c), `false` = static
+    /// (Fig. 6b). The OPE pipeline of Fig. 7 uses `[false, true, …, true]`.
+    pub reconfigurable: Vec<bool>,
+    /// Per stage: is it included in the current configuration? Ignored for
+    /// static stages (always included). Must be a prefix for meaningful
+    /// OPE-style depth configuration, but any vector is accepted — invalid
+    /// configurations are exactly what verification is for.
+    pub included: Vec<bool>,
+    /// Apply the Fig. 7 `s2` optimisation to the first reconfigurable stage
+    /// directly after a static one: one shared control loop for both
+    /// interfaces.
+    pub share_ctrl_after_static: bool,
+    /// Node latencies.
+    pub delays: StageDelays,
+}
+
+impl PipelineSpec {
+    /// A fully static `n`-stage pipeline.
+    #[must_use]
+    pub fn fully_static(n: usize) -> Self {
+        PipelineSpec {
+            stages: n,
+            reconfigurable: vec![false; n],
+            included: vec![true; n],
+            share_ctrl_after_static: false,
+            delays: StageDelays::default(),
+        }
+    }
+
+    /// The Fig. 7 shape: first stage static, the rest reconfigurable, the
+    /// first `depth` stages included.
+    #[must_use]
+    pub fn reconfigurable_depth(n: usize, depth: usize) -> Self {
+        let mut reconfigurable = vec![true; n];
+        reconfigurable[0] = false;
+        PipelineSpec {
+            stages: n,
+            reconfigurable,
+            included: (0..n).map(|i| i < depth).collect(),
+            share_ctrl_after_static: true,
+            delays: StageDelays::default(),
+        }
+    }
+}
+
+/// The built pipeline with handles to its interface nodes.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The model.
+    pub dfs: Dfs,
+    /// The common input register (`in`).
+    pub input: NodeId,
+    /// The aggregated output register (`out`).
+    pub output: NodeId,
+    /// Per stage: the `local_out` register.
+    pub local_outs: Vec<NodeId>,
+    /// Per stage: the `global_out` register/pop.
+    pub global_outs: Vec<NodeId>,
+}
+
+/// Builds a closed (environment-recycled) pipeline per `spec`.
+///
+/// The environment is modelled by feeding `out` back to `in`, so the model
+/// is autonomous and can be explored exhaustively.
+///
+/// # Errors
+///
+/// Propagates builder validation errors ([`DfsError`]).
+pub fn build_pipeline(spec: &PipelineSpec) -> Result<Pipeline, DfsError> {
+    assert_eq!(spec.reconfigurable.len(), spec.stages, "spec length mismatch");
+    assert_eq!(spec.included.len(), spec.stages, "spec length mismatch");
+    let d = spec.delays;
+    let mut b = DfsBuilder::new();
+
+    let input = b.register("in").marked().delay(d.register).build();
+    let agg = b.logic("agg").delay(d.g).build();
+    let output = b.register("out").delay(d.register).build();
+    b.connect(agg, output);
+    // environment: recycle the output token into the input
+    b.connect(output, input);
+
+    let mut prev_local: NodeId = input;
+    let mut prev_was_static = true;
+    let mut local_outs = Vec::new();
+    let mut global_outs = Vec::new();
+
+    for i in 0..spec.stages {
+        let s = i + 1;
+        let value = TokenValue::from(spec.included[i]);
+        if !spec.reconfigurable[i] {
+            // Fig. 6b: static stage
+            let local_in = b
+                .register(format!("s{s}_local_in"))
+                .delay(d.register)
+                .build();
+            let f = b.logic(format!("s{s}_f")).delay(d.f).build();
+            let local_out = b
+                .register(format!("s{s}_local_out"))
+                .delay(d.register)
+                .build();
+            let global_in = b
+                .register(format!("s{s}_global_in"))
+                .delay(d.register)
+                .build();
+            let g = b.logic(format!("s{s}_g")).delay(d.g).build();
+            let global_out = b
+                .register(format!("s{s}_global_out"))
+                .delay(d.register)
+                .build();
+            b.connect(prev_local, local_in);
+            b.connect(local_in, f);
+            b.connect(f, local_out);
+            b.connect(input, global_in);
+            b.connect(local_out, g);
+            b.connect(global_in, g);
+            b.connect(g, global_out);
+            b.connect(global_out, agg);
+            prev_local = local_out;
+            prev_was_static = true;
+            local_outs.push(local_out);
+            global_outs.push(global_out);
+        } else {
+            // Fig. 6c: reconfigurable stage
+            let shared = spec.share_ctrl_after_static && prev_was_static;
+            let gc = control_loop(&mut b, &format!("s{s}_gctrl"), value, d.control);
+            let lc = if shared {
+                gc
+            } else {
+                control_loop(&mut b, &format!("s{s}_lctrl"), value, d.control)
+            };
+            let local_in = b.push(format!("s{s}_local_in")).delay(d.register).build();
+            let f = b.logic(format!("s{s}_f")).delay(d.f).build();
+            let local_out = b
+                .register(format!("s{s}_local_out"))
+                .delay(d.register)
+                .build();
+            let global_in = b.push(format!("s{s}_global_in")).delay(d.register).build();
+            let g = b.logic(format!("s{s}_g")).delay(d.g).build();
+            let global_out = b.pop(format!("s{s}_global_out")).delay(d.register).build();
+            b.connect(prev_local, local_in);
+            b.connect(local_in, f);
+            b.connect(f, local_out);
+            b.connect(input, global_in);
+            b.connect(local_out, g);
+            b.connect(global_in, g);
+            b.connect(g, global_out);
+            b.connect(global_out, agg);
+            // guard wiring
+            b.connect(lc, local_in);
+            b.connect(gc, global_in);
+            b.connect(gc, global_out);
+            prev_local = local_out;
+            prev_was_static = false;
+            local_outs.push(local_out);
+            global_outs.push(global_out);
+        }
+    }
+
+    let dfs = b.finish()?;
+    Ok(Pipeline {
+        input,
+        output,
+        local_outs: local_outs
+            .into_iter()
+            .collect(),
+        global_outs,
+        dfs,
+    })
+}
+
+/// Builds a 3-register control loop (the minimum for token oscillation) and
+/// returns the register that guards the stage interfaces.
+fn control_loop(b: &mut DfsBuilder, prefix: &str, value: TokenValue, delay: f64) -> NodeId {
+    let c0 = b
+        .control(format!("{prefix}0"))
+        .marked_with(value)
+        .delay(delay)
+        .build();
+    let c1 = b.control(format!("{prefix}1")).delay(delay).build();
+    let c2 = b.control(format!("{prefix}2")).delay(delay).build();
+    b.connect(c0, c1);
+    b.connect(c1, c2);
+    b.connect(c2, c0);
+    c0
+}
+
+/// A plain linear pipeline `in → f1 → r1 → … → fN → rN` (open at the end;
+/// terminal registers self-drain). Useful as a test fixture.
+///
+/// # Errors
+///
+/// Propagates builder validation errors.
+pub fn linear_pipeline(n: usize, f_delay: f64) -> Result<Pipeline, DfsError> {
+    let mut b = DfsBuilder::new();
+    let input = b.register("in").marked().build();
+    let mut prev = input;
+    let mut last = input;
+    for i in 1..=n {
+        let f = b.logic(format!("f{i}")).delay(f_delay).build();
+        let r = b.register(format!("r{i}")).build();
+        b.connect(prev, f);
+        b.connect(f, r);
+        prev = r;
+        last = r;
+    }
+    // recycle to keep the model closed
+    b.connect(last, input);
+    let dfs = b.finish()?;
+    Ok(Pipeline {
+        input,
+        output: last,
+        local_outs: Vec::new(),
+        global_outs: Vec::new(),
+        dfs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify, VerifyConfig};
+
+    fn cfg() -> VerifyConfig {
+        VerifyConfig {
+            max_states: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn static_two_stage_pipeline_is_clean() {
+        let p = build_pipeline(&PipelineSpec::fully_static(2)).unwrap();
+        let report = verify(&p.dfs, &cfg()).unwrap();
+        assert!(report.is_clean(), "deadlocks: {:?}", report.deadlocks);
+    }
+
+    #[test]
+    fn reconfigurable_two_stage_all_depths_are_clean() {
+        for depth in 1..=2 {
+            let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, depth)).unwrap();
+            let report = verify(&p.dfs, &cfg()).unwrap();
+            assert!(
+                report.is_clean(),
+                "depth {depth}: deadlocks {:?} mismatch {:?} hazards {}",
+                report.deadlocks.len(),
+                report.control_mismatch.as_ref().map(|c| &c.reason),
+                report.hazards.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_simulates_and_produces_output() {
+        use crate::timed::{measure_throughput, ChoicePolicy};
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 2)).unwrap();
+        let thr = measure_throughput(&p.dfs, p.output, 3, 20, ChoicePolicy::AlwaysTrue).unwrap();
+        assert!(thr > 0.0);
+    }
+
+    #[test]
+    fn linear_pipeline_lives() {
+        let p = linear_pipeline(4, 1.0).unwrap();
+        let report = verify(&p.dfs, &cfg()).unwrap();
+        assert!(report.deadlocks.is_empty());
+    }
+}

@@ -1,0 +1,597 @@
+//! Operational semantics of DFS models — equations (1)–(5) of the paper.
+//!
+//! The paper defines node behaviour through set/reset functions refined for
+//! dynamic registers; this module implements them as an interleaving
+//! event semantics: at each step one state variable changes (a logic node
+//! evaluates or resets, a register accepts or releases a token). The PN
+//! translation in [`mod@crate::to_petri`] encodes exactly the same conditions as
+//! read arcs, and the two are checked to be bisimilar in the integration
+//! tests.
+//!
+//! See `DESIGN.md` §3.1 for the resolution of the ambiguities the preprint
+//! leaves open (guard-edge synchronisation and the pop-`Mt` exemption for
+//! control registers).
+
+use crate::graph::{Dfs, GuardMode, RRef};
+use crate::node::{NodeId, NodeKind, TokenValue};
+use crate::state::DfsState;
+
+/// An atomic state change of a DFS model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Event {
+    /// Logic node evaluates (`C↑`).
+    Eval(NodeId),
+    /// Logic node resets (`C↓`).
+    Reset(NodeId),
+    /// Register accepts a token with the given value (`M↑` / `Mt↑` / `Mf↑`).
+    Mark(NodeId, TokenValue),
+    /// Register releases its token (`M↓`).
+    Unmark(NodeId),
+}
+
+impl Event {
+    /// The node this event belongs to.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        match self {
+            Event::Eval(n) | Event::Reset(n) | Event::Mark(n, _) | Event::Unmark(n) => n,
+        }
+    }
+}
+
+/// Result of combining a node's control guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardStatus {
+    /// All guards present and combined to this value.
+    Ready(TokenValue),
+    /// Some guard has no token yet.
+    Waiting,
+    /// Guards are all present but hold mismatched values under
+    /// [`GuardMode::Unanimous`] — the node is disabled (§II-B).
+    Disabled,
+}
+
+impl Dfs {
+    /// Combines the control guards of `n` in state `s`.
+    ///
+    /// A node without guards is true-controlled by default (it behaves as a
+    /// static node).
+    #[must_use]
+    pub fn guard_status(&self, s: &DfsState, n: NodeId) -> GuardStatus {
+        combine(self.guard_mode(n), self.guards(n), s)
+    }
+
+    /// Combines the *value sources* of a control register (the control
+    /// registers in `?c`, eq. (5)). `None` when there are none — the value
+    /// choice is then non-deterministic (a data-dependent predicate, as for
+    /// `ctrl` in Fig. 1b).
+    #[must_use]
+    pub fn control_sources_status(&self, s: &DfsState, c: NodeId) -> Option<GuardStatus> {
+        let sources: Vec<RRef> = self
+            .r_preset(c)
+            .iter()
+            .copied()
+            .filter(|r| self.kind(r.node) == NodeKind::Control)
+            .collect();
+        if sources.is_empty() {
+            None
+        } else {
+            Some(combine(self.guard_mode(c), &sources, s))
+        }
+    }
+
+    /// `C↑` condition (eqs. (1), (3)): may `l` evaluate?
+    fn can_eval(&self, s: &DfsState, l: NodeId) -> bool {
+        !s.is_active(l)
+            && self.preds(l).iter().all(|e| {
+                let p = e.node;
+                match self.kind(p) {
+                    NodeKind::Logic => s.is_active(p),
+                    NodeKind::Push => s.is_true_marked(p),
+                    _ => s.is_marked(p),
+                }
+            })
+    }
+
+    /// `C↓` condition (eqs. (1), (3)): may `l` reset?
+    ///
+    /// Push registers are tested via `Mt` (eq. (3)): a false-marked push is
+    /// invisible downstream — it neither triggers evaluation nor blocks the
+    /// return-to-NULL, exactly like a sunk data wave in the circuit.
+    fn can_reset(&self, s: &DfsState, l: NodeId) -> bool {
+        s.is_active(l)
+            && self.preds(l).iter().all(|e| match self.kind(e.node) {
+                NodeKind::Push => !s.is_true_marked(e.node),
+                _ => !s.is_active(e.node),
+            })
+    }
+
+    /// The static part of `M↑` (eqs. (2), (4)) without the `!M(r)` check.
+    fn mark_core(&self, s: &DfsState, r: NodeId) -> bool {
+        self.mark_core_preset(s, r) && self.r_postset(r).iter().all(|q| !s.is_marked(q.node))
+    }
+
+    /// The preset half of `M↑`: preset logic evaluated, `?r` marked (pushes
+    /// true-marked). A **false-controlled push** uses only this half — it
+    /// destroys the incoming token and never interacts with its R-postset,
+    /// just as the corresponding circuit sinks the data wave without a
+    /// downstream handshake.
+    fn mark_core_preset(&self, s: &DfsState, r: NodeId) -> bool {
+        self.preds(r)
+            .iter()
+            .filter(|e| self.kind(e.node) == NodeKind::Logic)
+            .all(|e| s.is_active(e.node))
+            && self.r_preset(r).iter().all(|q| match self.kind(q.node) {
+                NodeKind::Push => s.is_true_marked(q.node),
+                _ => s.is_marked(q.node),
+            })
+    }
+
+    /// The static part of `M↓` (eqs. (2), (4)) without the `M(r)` check.
+    ///
+    /// The pop-`Mt` refinement of eq. (4) applies only when `r` itself is
+    /// not a control register: a control register guarding a pop must be
+    /// able to move on even when the pop produced an empty (false) token,
+    /// otherwise an excluded stage's control loop would deadlock.
+    fn unmark_core(&self, s: &DfsState, r: NodeId) -> bool {
+        let exempt_pops = self.kind(r) == NodeKind::Control;
+        self.preds(r)
+            .iter()
+            .filter(|e| self.kind(e.node) == NodeKind::Logic)
+            .all(|e| !s.is_active(e.node))
+            && self.r_preset(r).iter().all(|q| match self.kind(q.node) {
+                // eq. (4): pushes are tested via Mt — a false token does
+                // not hold the downstream register's release hostage
+                NodeKind::Push => !s.is_true_marked(q.node),
+                _ => !s.is_marked(q.node),
+            })
+            && self.r_postset(r).iter().all(|q| match self.kind(q.node) {
+                NodeKind::Pop if !exempt_pops => s.is_true_marked(q.node),
+                _ => s.is_marked(q.node),
+            })
+    }
+
+    /// All events enabled in `s`, in deterministic (node, kind) order.
+    #[must_use]
+    pub fn enabled_events(&self, s: &DfsState) -> Vec<Event> {
+        let mut out = Vec::new();
+        for n in self.nodes() {
+            self.node_events(s, n, &mut out);
+        }
+        out
+    }
+
+    /// Appends the events of node `n` enabled in `s` to `out`.
+    fn node_events(&self, s: &DfsState, n: NodeId, out: &mut Vec<Event>) {
+        match self.kind(n) {
+            NodeKind::Logic => {
+                if self.can_eval(s, n) {
+                    out.push(Event::Eval(n));
+                }
+                if self.can_reset(s, n) {
+                    out.push(Event::Reset(n));
+                }
+            }
+            NodeKind::Register => {
+                if !s.is_marked(n) && self.mark_core(s, n) {
+                    out.push(Event::Mark(n, TokenValue::True));
+                }
+                if s.is_marked(n) && self.unmark_core(s, n) {
+                    out.push(Event::Unmark(n));
+                }
+            }
+            NodeKind::Control => {
+                if !s.is_marked(n) && self.mark_core(s, n) {
+                    match self.control_sources_status(s, n) {
+                        None => {
+                            // data-dependent predicate: free choice
+                            out.push(Event::Mark(n, TokenValue::True));
+                            out.push(Event::Mark(n, TokenValue::False));
+                        }
+                        Some(GuardStatus::Ready(v)) => out.push(Event::Mark(n, v)),
+                        Some(_) => {}
+                    }
+                }
+                if s.is_marked(n) && self.unmark_core(s, n) {
+                    out.push(Event::Unmark(n));
+                }
+            }
+            NodeKind::Push => {
+                if !s.is_marked(n) {
+                    match self.guard_status(s, n) {
+                        GuardStatus::Ready(TokenValue::True) => {
+                            if self.mark_core(s, n) {
+                                out.push(Event::Mark(n, TokenValue::True));
+                            }
+                        }
+                        GuardStatus::Ready(TokenValue::False) => {
+                            // consume-and-destroy: the R-postset is not
+                            // involved at all
+                            if self.mark_core_preset(s, n) {
+                                out.push(Event::Mark(n, TokenValue::False));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if s.is_marked(n) {
+                    let may = match s.token_value(n) {
+                        Some(TokenValue::True) => self.unmark_core(s, n),
+                        // false-marked push: destroy the token as soon as the
+                        // preset withdraws; the R-postset never saw it
+                        _ => {
+                            self.preds(n)
+                                .iter()
+                                .filter(|e| self.kind(e.node) == NodeKind::Logic)
+                                .all(|e| !s.is_active(e.node))
+                                && self.r_preset(n).iter().all(|q| !s.is_marked(q.node))
+                        }
+                    };
+                    if may {
+                        out.push(Event::Unmark(n));
+                    }
+                }
+            }
+            NodeKind::Pop => {
+                if !s.is_marked(n) {
+                    match self.guard_status(s, n) {
+                        GuardStatus::Ready(TokenValue::True) => {
+                            if self.mark_core(s, n) {
+                                out.push(Event::Mark(n, TokenValue::True));
+                            }
+                        }
+                        GuardStatus::Ready(TokenValue::False) => {
+                            // spontaneous empty token: ignores the data preset
+                            if self.r_postset(n).iter().all(|q| !s.is_marked(q.node)) {
+                                out.push(Event::Mark(n, TokenValue::False));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if s.is_marked(n) {
+                    let may = match s.token_value(n) {
+                        Some(TokenValue::True) => self.unmark_core(s, n),
+                        // empty token: release once the guard has moved on and
+                        // the downstream has taken the token
+                        _ => {
+                            self.guards(n).iter().all(|g| !s.is_marked(g.node))
+                                && self.r_postset(n).iter().all(|q| match self.kind(q.node) {
+                                    NodeKind::Pop => s.is_true_marked(q.node),
+                                    _ => s.is_marked(q.node),
+                                })
+                        }
+                    };
+                    if may {
+                        out.push(Event::Unmark(n));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is a specific event enabled in `s`?
+    #[must_use]
+    pub fn is_event_enabled(&self, s: &DfsState, event: Event) -> bool {
+        let mut buf = Vec::new();
+        self.node_events(s, event.node(), &mut buf);
+        buf.contains(&event)
+    }
+
+    /// Applies `event` to `s`, returning the successor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the event is not enabled — callers are
+    /// expected to pick from [`Dfs::enabled_events`].
+    #[must_use]
+    pub fn apply(&self, s: &DfsState, event: Event) -> DfsState {
+        debug_assert!(
+            self.is_event_enabled(s, event),
+            "applying disabled event {:?} in state {}",
+            event,
+            s.describe(self)
+        );
+        let mut next = s.clone();
+        match event {
+            Event::Eval(n) => next.set_marked(n, TokenValue::True),
+            Event::Reset(n) | Event::Unmark(n) => next.clear(n),
+            Event::Mark(n, v) => next.set_marked(n, v),
+        }
+        next
+    }
+
+    /// The PN-compatible label of `event` in state `s` (matching the
+    /// transition names generated by [`mod@crate::to_petri`]), e.g. `C_f+`,
+    /// `M_out-`, `Mt_ctrl+`, `Mf_filt-`.
+    #[must_use]
+    pub fn event_label(&self, s: &DfsState, event: Event) -> String {
+        let name = &self.node(event.node()).name;
+        match event {
+            Event::Eval(_) => format!("C_{name}+"),
+            Event::Reset(_) => format!("C_{name}-"),
+            Event::Mark(n, v) => {
+                if self.kind(n) == NodeKind::Register {
+                    format!("M_{name}+")
+                } else if v == TokenValue::True {
+                    format!("Mt_{name}+")
+                } else {
+                    format!("Mf_{name}+")
+                }
+            }
+            Event::Unmark(n) => {
+                if self.kind(n) == NodeKind::Register {
+                    format!("M_{name}-")
+                } else if s.token_value(n) == Some(TokenValue::False) {
+                    format!("Mf_{name}-")
+                } else {
+                    format!("Mt_{name}-")
+                }
+            }
+        }
+    }
+
+    /// Do two marked guards of some node currently disagree? This is the
+    /// *control mismatch* error condition of §II-B.
+    #[must_use]
+    pub fn has_control_mismatch(&self, s: &DfsState) -> bool {
+        self.nodes().any(|n| {
+            let guards = self.guards(n);
+            if guards.len() < 2 || self.guard_mode(n) != GuardMode::Unanimous {
+                return false;
+            }
+            let values: Vec<TokenValue> = guards
+                .iter()
+                .filter(|g| s.is_marked(g.node))
+                .map(|g| effective(s, g))
+                .collect();
+            values.windows(2).any(|w| w[0] != w[1])
+        })
+    }
+}
+
+/// Effective value of a marked guard, accounting for arc inversion.
+fn effective(s: &DfsState, g: &RRef) -> TokenValue {
+    let v = s.token_value(g.node).unwrap_or(TokenValue::True);
+    if g.inverted {
+        v.negate()
+    } else {
+        v
+    }
+}
+
+fn combine(mode: GuardMode, guards: &[RRef], s: &DfsState) -> GuardStatus {
+    if guards.is_empty() {
+        return GuardStatus::Ready(TokenValue::True);
+    }
+    if guards.iter().any(|g| !s.is_marked(g.node)) {
+        return GuardStatus::Waiting;
+    }
+    let values: Vec<TokenValue> = guards.iter().map(|g| effective(s, g)).collect();
+    match mode {
+        GuardMode::Unanimous => {
+            if values.windows(2).all(|w| w[0] == w[1]) {
+                GuardStatus::Ready(values[0])
+            } else {
+                GuardStatus::Disabled
+            }
+        }
+        GuardMode::And => GuardStatus::Ready(TokenValue::from(
+            values.iter().all(|v| v.as_bool()),
+        )),
+        GuardMode::Or => GuardStatus::Ready(TokenValue::from(
+            values.iter().any(|v| v.as_bool()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsBuilder;
+
+    /// in(marked) -> f(logic) -> out : the smallest SDFS pipeline.
+    fn linear() -> Dfs {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let f = b.logic("f").build();
+        let o = b.register("out").build();
+        b.connect(i, f);
+        b.connect(f, o);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn spread_token_sequence_on_linear_pipeline() {
+        let dfs = linear();
+        let (i, f, o) = (
+            dfs.node_by_name("in").unwrap(),
+            dfs.node_by_name("f").unwrap(),
+            dfs.node_by_name("out").unwrap(),
+        );
+        let s0 = DfsState::initial(&dfs);
+        // only f can evaluate
+        assert_eq!(dfs.enabled_events(&s0), vec![Event::Eval(f)]);
+        let s1 = dfs.apply(&s0, Event::Eval(f));
+        // now out can accept the token (in cannot release yet: out unmarked)
+        assert_eq!(
+            dfs.enabled_events(&s1),
+            vec![Event::Mark(o, TokenValue::True)]
+        );
+        let s2 = dfs.apply(&s1, Event::Mark(o, TokenValue::True));
+        // in releases (its R-postset out is marked)
+        assert!(dfs.enabled_events(&s2).contains(&Event::Unmark(i)));
+        let s3 = dfs.apply(&s2, Event::Unmark(i));
+        // f resets, then out can release
+        let s4 = dfs.apply(&s3, Event::Reset(f));
+        assert!(dfs.enabled_events(&s4).contains(&Event::Unmark(o)));
+    }
+
+    #[test]
+    fn control_without_sources_has_free_choice() {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let cond = b.logic("cond").build();
+        let c = b.control("ctrl").build();
+        b.connect(i, cond);
+        b.connect(cond, c);
+        let dfs = b.finish().unwrap();
+        let s0 = DfsState::initial(&dfs);
+        let s1 = dfs.apply(&s0, Event::Eval(cond));
+        let events = dfs.enabled_events(&s1);
+        assert!(events.contains(&Event::Mark(c, TokenValue::True)));
+        assert!(events.contains(&Event::Mark(c, TokenValue::False)));
+    }
+
+    #[test]
+    fn control_loop_copies_values() {
+        // c0(True) -> c1 -> c2 -> c0 : the 3-register control loop of Fig. 6c
+        let mut b = DfsBuilder::new();
+        let c0 = b.control("c0").marked_with(TokenValue::False).build();
+        let c1 = b.control("c1").build();
+        let c2 = b.control("c2").build();
+        b.connect(c0, c1);
+        b.connect(c1, c2);
+        b.connect(c2, c0);
+        let dfs = b.finish().unwrap();
+        let s0 = DfsState::initial(&dfs);
+        // only c1 can accept, and only with the copied False value
+        assert_eq!(
+            dfs.enabled_events(&s0),
+            vec![Event::Mark(c1, TokenValue::False)]
+        );
+        let s1 = dfs.apply(&s0, Event::Mark(c1, TokenValue::False));
+        assert!(s1.is_false_marked(c1));
+        // now c0 releases, then c2 copies False, and so on around the loop
+        let s2 = dfs.apply(&s1, Event::Unmark(c0));
+        assert_eq!(
+            dfs.enabled_events(&s2),
+            vec![Event::Mark(c2, TokenValue::False)]
+        );
+    }
+
+    #[test]
+    fn push_destroys_false_tokens() {
+        // in -> filt(push), guarded by ctrl(False); filt -> comp(register)
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let c = b.control("ctrl").marked_with(TokenValue::False).build();
+        let p = b.push("filt").build();
+        let comp = b.register("comp").build();
+        b.connect(i, p);
+        b.connect(c, p);
+        b.connect(p, comp);
+        let dfs = b.finish().unwrap();
+        let s0 = DfsState::initial(&dfs);
+        // filt accepts a false token
+        assert!(dfs
+            .enabled_events(&s0)
+            .contains(&Event::Mark(p, TokenValue::False)));
+        let s1 = dfs.apply(&s0, Event::Mark(p, TokenValue::False));
+        assert!(s1.is_false_marked(p));
+        // comp must NOT be able to accept (the token is being destroyed)
+        assert!(!dfs
+            .enabled_events(&s1)
+            .contains(&Event::Mark(comp, TokenValue::True)));
+        // upstream `in` releases (its successor filt is marked), ctrl
+        // releases (its guarded successor is marked), then filt destroys
+        let s2 = dfs.apply(&s1, Event::Unmark(i));
+        let s3 = dfs.apply(&s2, Event::Unmark(c));
+        assert!(dfs.enabled_events(&s3).contains(&Event::Unmark(p)));
+        let s4 = dfs.apply(&s3, Event::Unmark(p));
+        assert!(!s4.is_marked(comp), "token was destroyed, not propagated");
+    }
+
+    #[test]
+    fn pop_produces_empty_tokens_when_false_controlled() {
+        // comp(register, empty) -> out(pop) guarded by ctrl(False); out -> sink
+        let mut b = DfsBuilder::new();
+        let comp = b.register("comp").build();
+        let c = b.control("ctrl").marked_with(TokenValue::False).build();
+        let o = b.pop("out").build();
+        let sink = b.register("sink").build();
+        b.connect(comp, o);
+        b.connect(c, o);
+        b.connect(o, sink);
+        let dfs = b.finish().unwrap();
+        let s0 = DfsState::initial(&dfs);
+        // out produces an empty token even though comp is unmarked
+        assert!(dfs
+            .enabled_events(&s0)
+            .contains(&Event::Mark(o, TokenValue::False)));
+        let s1 = dfs.apply(&s0, Event::Mark(o, TokenValue::False));
+        // the empty token propagates downstream as an ordinary token
+        assert!(dfs
+            .enabled_events(&s1)
+            .contains(&Event::Mark(sink, TokenValue::True)));
+        // and comp's (absent) token was not consumed: comp still unmarked
+        assert!(!s1.is_marked(comp));
+    }
+
+    #[test]
+    fn mismatch_disables_node_and_is_detectable() {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let c1 = b.control("c1").marked_with(TokenValue::True).build();
+        let c2 = b.control("c2").marked_with(TokenValue::False).build();
+        let p = b.push("p").build();
+        b.connect(i, p);
+        b.connect(c1, p);
+        b.connect(c2, p);
+        let dfs = b.finish().unwrap();
+        let s0 = DfsState::initial(&dfs);
+        assert_eq!(dfs.guard_status(&s0, p), GuardStatus::Disabled);
+        assert!(dfs.has_control_mismatch(&s0));
+        assert!(!dfs
+            .enabled_events(&s0)
+            .iter()
+            .any(|e| e.node() == p));
+    }
+
+    #[test]
+    fn and_or_guard_modes_resolve_mismatch() {
+        use crate::graph::GuardMode;
+        for (mode, expect) in [(GuardMode::And, TokenValue::False), (GuardMode::Or, TokenValue::True)] {
+            let mut b = DfsBuilder::new();
+            let i = b.register("in").marked().build();
+            let c1 = b.control("c1").marked_with(TokenValue::True).build();
+            let c2 = b.control("c2").marked_with(TokenValue::False).build();
+            let p = b.push("p").guard_mode(mode).build();
+            b.connect(i, p);
+            b.connect(c1, p);
+            b.connect(c2, p);
+            let dfs = b.finish().unwrap();
+            let s0 = DfsState::initial(&dfs);
+            assert_eq!(dfs.guard_status(&s0, p), GuardStatus::Ready(expect));
+        }
+    }
+
+    #[test]
+    fn inverted_guard_flips_value() {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let c = b.control("c").marked_with(TokenValue::False).build();
+        let p = b.push("p").build();
+        b.connect(i, p);
+        b.connect_inverted(c, p);
+        let dfs = b.finish().unwrap();
+        let s0 = DfsState::initial(&dfs);
+        assert_eq!(
+            dfs.guard_status(&s0, p),
+            GuardStatus::Ready(TokenValue::True)
+        );
+    }
+
+    #[test]
+    fn event_labels_match_pn_convention() {
+        let dfs = linear();
+        let f = dfs.node_by_name("f").unwrap();
+        let o = dfs.node_by_name("out").unwrap();
+        let s0 = DfsState::initial(&dfs);
+        assert_eq!(dfs.event_label(&s0, Event::Eval(f)), "C_f+");
+        assert_eq!(
+            dfs.event_label(&s0, Event::Mark(o, TokenValue::True)),
+            "M_out+"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Untimed (interactive-style) simulation of DFS models.
+//!
+//! The Workcraft plugin offers step-by-step visual simulation; this module
+//! is the programmatic equivalent: repeatedly pick one enabled event under a
+//! scheduling policy and apply it, recording the trace.
+
+use crate::graph::Dfs;
+use crate::semantics::Event;
+use crate::state::DfsState;
+
+/// How the simulator picks among enabled events.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Always the first enabled event in deterministic node order. Useful
+    /// for reproducible traces; may starve concurrent branches.
+    First,
+    /// Round-robin over nodes: resume scanning after the last fired node.
+    RoundRobin,
+    /// Uniformly random with the given seed (xorshift; reproducible).
+    Random {
+        /// Seed for the internal xorshift generator (0 is remapped to 1).
+        seed: u64,
+    },
+}
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Stop after this many events even if not quiescent.
+    pub max_steps: usize,
+    /// Scheduling policy.
+    pub scheduler: Scheduler,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_steps: 10_000,
+            scheduler: Scheduler::Random { seed: 1 },
+        }
+    }
+}
+
+/// Result of an untimed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// The events fired, in order.
+    pub trace: Vec<Event>,
+    /// State after the last event.
+    pub final_state: DfsState,
+    /// `true` when the run stopped because no event was enabled (for a live
+    /// pipeline this never happens within `max_steps`).
+    pub quiescent: bool,
+}
+
+impl SimRun {
+    /// How many times `node` accepted a token during the run (a throughput
+    /// proxy for output registers).
+    #[must_use]
+    pub fn mark_count(&self, node: crate::NodeId) -> usize {
+        self.trace
+            .iter()
+            .filter(|e| matches!(e, Event::Mark(n, _) if *n == node))
+            .count()
+    }
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Runs an untimed simulation from the initial state.
+#[must_use]
+pub fn simulate(dfs: &Dfs, config: &SimConfig) -> SimRun {
+    simulate_from(dfs, DfsState::initial(dfs), config)
+}
+
+/// Runs an untimed simulation from an arbitrary state.
+#[must_use]
+pub fn simulate_from(dfs: &Dfs, mut state: DfsState, config: &SimConfig) -> SimRun {
+    let mut trace = Vec::new();
+    let mut rng = XorShift(match config.scheduler {
+        Scheduler::Random { seed } if seed != 0 => seed,
+        _ => 1,
+    });
+    let mut rr_cursor = 0usize;
+    for _ in 0..config.max_steps {
+        let enabled = dfs.enabled_events(&state);
+        if enabled.is_empty() {
+            return SimRun {
+                trace,
+                final_state: state,
+                quiescent: true,
+            };
+        }
+        let pick = match config.scheduler {
+            Scheduler::First => enabled[0],
+            Scheduler::RoundRobin => {
+                // first enabled event of a node at/after the cursor
+                let chosen = enabled
+                    .iter()
+                    .copied()
+                    .find(|e| e.node().index() >= rr_cursor)
+                    .unwrap_or(enabled[0]);
+                rr_cursor = chosen.node().index() + 1;
+                if rr_cursor >= dfs.node_count() {
+                    rr_cursor = 0;
+                }
+                chosen
+            }
+            Scheduler::Random { .. } => enabled[(rng.next() % enabled.len() as u64) as usize],
+        };
+        state = dfs.apply(&state, pick);
+        trace.push(pick);
+    }
+    SimRun {
+        trace,
+        final_state: state,
+        quiescent: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsBuilder;
+    use crate::node::TokenValue;
+
+    fn ring3() -> Dfs {
+        let mut b = DfsBuilder::new();
+        let r0 = b.register("r0").marked().build();
+        let r1 = b.register("r1").build();
+        let r2 = b.register("r2").build();
+        b.connect(r0, r1);
+        b.connect(r1, r2);
+        b.connect(r2, r0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn live_ring_never_quiesces() {
+        let dfs = ring3();
+        for sched in [
+            Scheduler::First,
+            Scheduler::RoundRobin,
+            Scheduler::Random { seed: 42 },
+        ] {
+            let run = simulate(
+                &dfs,
+                &SimConfig {
+                    max_steps: 500,
+                    scheduler: sched,
+                },
+            );
+            assert!(!run.quiescent);
+            assert_eq!(run.trace.len(), 500);
+        }
+    }
+
+    #[test]
+    fn token_circulates_through_all_registers() {
+        let dfs = ring3();
+        let run = simulate(
+            &dfs,
+            &SimConfig {
+                max_steps: 300,
+                scheduler: Scheduler::Random { seed: 7 },
+            },
+        );
+        for name in ["r0", "r1", "r2"] {
+            let n = dfs.node_by_name(name).unwrap();
+            assert!(run.mark_count(n) > 10, "register {name} starved");
+        }
+    }
+
+    #[test]
+    fn mismatch_model_quiesces() {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let c1 = b.control("c1").marked_with(TokenValue::True).build();
+        let c2 = b.control("c2").marked_with(TokenValue::False).build();
+        let p = b.push("p").build();
+        b.connect(i, p);
+        b.connect(c1, p);
+        b.connect(c2, p);
+        let dfs = b.finish().unwrap();
+        let run = simulate(&dfs, &SimConfig::default());
+        assert!(run.quiescent, "mismatched guards must deadlock");
+    }
+
+    #[test]
+    fn deterministic_replay_with_same_seed() {
+        let dfs = ring3();
+        let cfg = SimConfig {
+            max_steps: 100,
+            scheduler: Scheduler::Random { seed: 99 },
+        };
+        let a = simulate(&dfs, &cfg);
+        let b = simulate(&dfs, &cfg);
+        assert_eq!(a.trace, b.trace);
+    }
+}

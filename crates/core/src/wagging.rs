@@ -1,0 +1,200 @@
+//! The wagging transformation (Brej \[15\], cited in §II-D).
+//!
+//! Wagging extracts implicit parallelism from a bottleneck stage by
+//! replicating it `K` ways and steering successive tokens to successive
+//! replicas. At the DFS level the steering is expressed with the dynamic
+//! primitives themselves — no new node kinds are needed:
+//!
+//! * the input is **broadcast** to the `K` replica entries, each of which is
+//!   a *push* guarded by a rotating control ring: the replica whose guard
+//!   holds `True` accepts the token, the others destroy their copies;
+//! * the ring holds one `True` token and `K−1` `False` tokens spaced three
+//!   registers apart (the oscillation minimum), so the `True` advances to
+//!   the next replica's guard position once per data item — round-robin
+//!   distribution for free;
+//! * the replica exits are *pops* guarded by an identically-initialised
+//!   second ring, producing empty tokens for the inactive replicas, so the
+//!   output aggregation completes exactly once per item and collection is
+//!   in order.
+//!
+//! The resulting throughput scales with `K` until the distributor/collector
+//! rings become the bottleneck — demonstrated in the tests and the
+//! `fig5_performance` experiment binary.
+
+use crate::builder::DfsBuilder;
+use crate::graph::Dfs;
+use crate::node::{NodeId, TokenValue};
+use crate::DfsError;
+
+/// A wagged pipeline model with interface handles.
+#[derive(Debug, Clone)]
+pub struct Wagged {
+    /// The model.
+    pub dfs: Dfs,
+    /// The input register.
+    pub input: NodeId,
+    /// The aggregated output register.
+    pub output: NodeId,
+    /// Entry pushes of the replicas.
+    pub entries: Vec<NodeId>,
+    /// Exit pops of the replicas.
+    pub exits: Vec<NodeId>,
+}
+
+/// Builds a rotating control ring with `ways` guard positions (three
+/// registers per position), `True` initially at position 0. Returns the
+/// guard registers, one per position.
+fn rotating_ring(
+    b: &mut DfsBuilder,
+    prefix: &str,
+    ways: usize,
+    delay: f64,
+) -> Vec<NodeId> {
+    let len = 3 * ways;
+    let regs: Vec<NodeId> = (0..len)
+        .map(|i| {
+            let nb = b.control(format!("{prefix}{i}")).delay(delay);
+            if i % 3 == 0 {
+                // a valued token at each guard position
+                nb.marked_with(TokenValue::from(i == 0)).build()
+            } else {
+                nb.build()
+            }
+        })
+        .collect();
+    for i in 0..len {
+        b.connect(regs[i], regs[(i + 1) % len]);
+    }
+    (0..ways).map(|k| regs[3 * k]).collect()
+}
+
+/// Builds a closed `ways`-way wagged pipeline whose replicated segment is a
+/// `comp_depth`-stage pipeline of per-stage latency `comp_delay`.
+///
+/// With `ways == 1` this degenerates to a guarded linear pipeline and is
+/// the natural baseline for the speed-up measurement.
+///
+/// # Errors
+///
+/// Propagates builder validation errors.
+pub fn wagged_pipeline(
+    ways: usize,
+    comp_depth: usize,
+    comp_delay: f64,
+) -> Result<Wagged, DfsError> {
+    assert!(ways >= 1, "need at least one way");
+    let mut b = DfsBuilder::new();
+    let input = b.register("in").marked().build();
+    let agg = b.logic("agg").delay(0.5).build();
+    let output = b.register("out").build();
+    b.connect(agg, output);
+    // environment loop with buffer registers: the recycled token must not
+    // reappear at the input before the replicas have drained, or the
+    // entry/input/output release conditions form a deadly embrace (the
+    // asynchronous-ring bubble requirement again)
+    // the buffers start marked: several items are in flight, which is what
+    // gives replication something to parallelise
+    let buf1 = b.register("env_buf1").marked().build();
+    let buf2 = b.register("env_buf2").build();
+    let buf3 = b.register("env_buf3").marked().build();
+    b.connect(output, buf1);
+    b.connect(buf1, buf2);
+    b.connect(buf2, buf3);
+    b.connect(buf3, input);
+
+    let dist = rotating_ring(&mut b, "dc", ways, 0.5);
+    let coll = rotating_ring(&mut b, "cc", ways, 0.5);
+
+    let mut entries = Vec::new();
+    let mut exits = Vec::new();
+    for w in 0..ways {
+        let entry = b.push(format!("w{w}_entry")).build();
+        b.connect(input, entry);
+        b.connect(dist[w], entry);
+        let mut prev = entry;
+        for s in 1..=comp_depth.max(1) {
+            let f = b.logic(format!("w{w}_f{s}")).delay(comp_delay).build();
+            let r = b.register(format!("w{w}_r{s}")).build();
+            b.connect(prev, f);
+            b.connect(f, r);
+            prev = r;
+        }
+        let exit = b.pop(format!("w{w}_exit")).build();
+        b.connect(prev, exit);
+        b.connect(coll[w], exit);
+        b.connect(exit, agg);
+        entries.push(entry);
+        exits.push(exit);
+    }
+
+    let dfs = b.finish()?;
+    Ok(Wagged {
+        dfs,
+        input,
+        output,
+        entries,
+        exits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed::{measure_throughput, ChoicePolicy};
+    use crate::verify::{verify, VerifyConfig};
+
+    #[test]
+    fn two_way_wagging_is_deadlock_free() {
+        let w = wagged_pipeline(2, 1, 4.0).unwrap();
+        let report = verify(
+            &w.dfs,
+            &VerifyConfig {
+                max_states: 5_000_000,
+            },
+        )
+        .unwrap();
+        assert!(
+            report.deadlocks.is_empty(),
+            "trace: {:?}",
+            report.deadlocks.first().map(|d| &d.trace)
+        );
+        assert!(report.control_mismatch.is_none());
+    }
+
+    #[test]
+    fn wagging_improves_throughput_of_a_slow_stage() {
+        let slow = 8.0;
+        let base = wagged_pipeline(1, 1, slow).unwrap();
+        let wag2 = wagged_pipeline(2, 1, slow).unwrap();
+        let t1 =
+            measure_throughput(&base.dfs, base.output, 4, 24, ChoicePolicy::AlwaysTrue).unwrap();
+        let t2 =
+            measure_throughput(&wag2.dfs, wag2.output, 4, 24, ChoicePolicy::AlwaysTrue).unwrap();
+        assert!(
+            t2 > t1 * 1.4,
+            "2-way wagging should speed up a slow stage: {t1} -> {t2}"
+        );
+    }
+
+    #[test]
+    fn tokens_alternate_between_ways() {
+        use crate::sim::{simulate, SimConfig, Scheduler};
+        let w = wagged_pipeline(2, 1, 2.0).unwrap();
+        let run = simulate(
+            &w.dfs,
+            &SimConfig {
+                max_steps: 4_000,
+                scheduler: Scheduler::Random { seed: 3 },
+            },
+        );
+        assert!(!run.quiescent);
+        // both ways see roughly equal numbers of true acceptances: compare
+        // the per-way first comp register activity
+        let r0 = w.dfs.node_by_name("w0_r1").unwrap();
+        let r1 = w.dfs.node_by_name("w1_r1").unwrap();
+        let (a, b) = (run.mark_count(r0), run.mark_count(r1));
+        assert!(a > 0 && b > 0, "both ways must be used (a={a}, b={b})");
+        let ratio = a.max(b) as f64 / a.min(b).max(1) as f64;
+        assert!(ratio < 2.0, "round-robin should balance ways (a={a}, b={b})");
+    }
+}

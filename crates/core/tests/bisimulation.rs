@@ -1,0 +1,186 @@
+//! The PN translation (Fig. 3) must be behaviour-preserving: the reachable
+//! LTS of the generated net, labelled by base transition names, must be
+//! isomorphic to the LTS of the direct operational semantics labelled by
+//! [`Dfs::event_label`].
+//!
+//! Both systems are deterministic per label in every state (a label
+//! identifies one node event; multiple PN variant transitions with the same
+//! label lead to the same marking), so a product BFS that pairs states and
+//! compares outgoing label sets decides strong bisimilarity exactly.
+
+use dfs_core::pipelines::{build_pipeline, PipelineSpec};
+use dfs_core::{to_petri, Dfs, DfsBuilder, DfsState, TokenValue};
+use rap_petri::Marking;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Checks label-wise bisimilarity between the direct LTS and the PN image.
+fn assert_bisimilar(dfs: &Dfs, max_states: usize) {
+    let img = to_petri(dfs);
+    let net = &img.net;
+
+    let mut pairing: HashMap<DfsState, Marking> = HashMap::new();
+    let mut queue: VecDeque<(DfsState, Marking)> = VecDeque::new();
+    let s0 = DfsState::initial(dfs);
+    let m0 = net.initial_marking();
+    pairing.insert(s0.clone(), m0.clone());
+    queue.push_back((s0, m0));
+    let mut visited = 0usize;
+
+    while let Some((s, m)) = queue.pop_front() {
+        visited += 1;
+        assert!(
+            visited <= max_states,
+            "state budget exceeded during bisimulation check"
+        );
+
+        // direct side: label -> successor state
+        let mut direct: HashMap<String, DfsState> = HashMap::new();
+        for ev in dfs.enabled_events(&s) {
+            let label = dfs.event_label(&s, ev);
+            let next = dfs.apply(&s, ev);
+            if let Some(prev) = direct.insert(label.clone(), next.clone()) {
+                assert_eq!(prev, next, "direct semantics not label-deterministic");
+            }
+        }
+
+        // net side: label -> successor marking
+        let mut petri: HashMap<String, Marking> = HashMap::new();
+        for t in net.transitions() {
+            if !net.is_enabled(t, &m) {
+                continue;
+            }
+            let label = img.label(t).to_string();
+            let next = net.fire(t, &m).unwrap();
+            if let Some(prev) = petri.insert(label.clone(), next.clone()) {
+                assert_eq!(
+                    prev, next,
+                    "PN variants with label {label} diverge — translation bug"
+                );
+            }
+        }
+
+        let direct_labels: HashSet<&String> = direct.keys().collect();
+        let petri_labels: HashSet<&String> = petri.keys().collect();
+        assert_eq!(
+            direct_labels,
+            petri_labels,
+            "label sets differ in state {}\n direct only: {:?}\n petri only: {:?}",
+            s.describe(dfs),
+            direct_labels.difference(&petri_labels).collect::<Vec<_>>(),
+            petri_labels.difference(&direct_labels).collect::<Vec<_>>(),
+        );
+
+        for (label, next_s) in direct {
+            let next_m = petri.remove(&label).expect("label sets already equal");
+            match pairing.get(&next_s) {
+                Some(existing) => assert_eq!(
+                    existing, &next_m,
+                    "state paired with two different markings via {label}"
+                ),
+                None => {
+                    pairing.insert(next_s.clone(), next_m.clone());
+                    queue.push_back((next_s, next_m));
+                }
+            }
+        }
+    }
+}
+
+/// Fig. 1b: the conditional-computation motivating example.
+fn fig1b() -> Dfs {
+    dfs_core::examples::conditional_dfs(2, 3.0).unwrap().dfs
+}
+
+#[test]
+fn fig1b_is_bisimilar() {
+    assert_bisimilar(&fig1b(), 1_000_000);
+}
+
+#[test]
+fn plain_ring_is_bisimilar() {
+    let mut b = DfsBuilder::new();
+    let r0 = b.register("r0").marked().build();
+    let f = b.logic("f").build();
+    let r1 = b.register("r1").build();
+    let r2 = b.register("r2").build();
+    b.connect(r0, f);
+    b.connect(f, r1);
+    b.connect(r1, r2);
+    b.connect(r2, r0);
+    assert_bisimilar(&b.finish().unwrap(), 100_000);
+}
+
+#[test]
+fn control_loop_is_bisimilar() {
+    let mut b = DfsBuilder::new();
+    let c0 = b.control("c0").marked_with(TokenValue::False).build();
+    let c1 = b.control("c1").build();
+    let c2 = b.control("c2").build();
+    b.connect(c0, c1);
+    b.connect(c1, c2);
+    b.connect(c2, c0);
+    assert_bisimilar(&b.finish().unwrap(), 100_000);
+}
+
+#[test]
+fn reconfigurable_stage_is_bisimilar_in_both_configurations() {
+    for depth in 1..=2 {
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, depth)).unwrap();
+        assert_bisimilar(&p.dfs, 2_000_000);
+    }
+}
+
+#[test]
+fn mismatched_guards_are_bisimilar_too() {
+    // even pathological models must translate faithfully
+    let mut b = DfsBuilder::new();
+    let i = b.register("in").marked().build();
+    let c1 = b.control("c1").marked_with(TokenValue::True).build();
+    let c2 = b.control("c2").marked_with(TokenValue::False).build();
+    let p = b.push("p").build();
+    let o = b.register("out").build();
+    b.connect(i, p);
+    b.connect(c1, p);
+    b.connect(c2, p);
+    b.connect(p, o);
+    assert_bisimilar(&b.finish().unwrap(), 100_000);
+}
+
+#[test]
+fn and_or_guard_modes_are_bisimilar() {
+    use dfs_core::GuardMode;
+    for mode in [GuardMode::And, GuardMode::Or] {
+        let mut b = DfsBuilder::new();
+        let i = b.register("in").marked().build();
+        let c1 = b.control("c1").marked_with(TokenValue::True).build();
+        let c2 = b.control("c2").marked_with(TokenValue::False).build();
+        let p = b.push("p").guard_mode(mode).build();
+        let o = b.register("out").build();
+        b.connect(i, p);
+        b.connect(c1, p);
+        b.connect(c2, p);
+        b.connect(p, o);
+        b.connect(o, i);
+        assert_bisimilar(&b.finish().unwrap(), 500_000);
+    }
+}
+
+#[test]
+fn inverted_guards_are_bisimilar() {
+    let mut b = DfsBuilder::new();
+    let i = b.register("in").marked().build();
+    let c = b.control("c").marked_with(TokenValue::False).build();
+    let p = b.push("p").build();
+    let o = b.register("out").build();
+    b.connect(i, p);
+    b.connect_inverted(c, p);
+    b.connect(p, o);
+    b.connect(o, i);
+    assert_bisimilar(&b.finish().unwrap(), 500_000);
+}
+
+#[test]
+fn wagged_pipeline_is_bisimilar() {
+    let w = dfs_core::wagging::wagged_pipeline(2, 1, 2.0).unwrap();
+    assert_bisimilar(&w.dfs, 5_000_000);
+}

@@ -1,0 +1,197 @@
+//! The evaluation-chip top level (Fig. 8a).
+//!
+//! Two OPE implementations — an 18-stage **static** pipeline and a
+//! **reconfigurable** one with 16 depth settings (3–18) — selected by the
+//! `config` input; a `mode` input selects *normal* (stream in, ranks out)
+//! or *random* (LFSR → pipeline → accumulator, one checksum out) operation.
+
+use crate::accumulator::Accumulator;
+use crate::lfsr::Lfsr;
+use crate::pipeline::PipelinedOpe;
+use crate::reference::ReferenceEncoder;
+
+/// Number of stages of the static pipeline (§IV).
+pub const STATIC_DEPTH: usize = 18;
+/// Smallest reconfigurable depth (§IV).
+pub const MIN_DEPTH: usize = 3;
+/// Largest reconfigurable depth (§IV).
+pub const MAX_DEPTH: usize = 18;
+
+/// Which pipeline the `config` input activates, and with what depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipConfig {
+    /// The fixed 18-stage pipeline.
+    Static,
+    /// The reconfigurable pipeline at the given depth (3..=18).
+    Reconfigurable {
+        /// Active depth = OPE window size.
+        depth: usize,
+    },
+}
+
+impl ChipConfig {
+    /// The effective window size.
+    #[must_use]
+    pub fn depth(self) -> usize {
+        match self {
+            ChipConfig::Static => STATIC_DEPTH,
+            ChipConfig::Reconfigurable { depth } => depth,
+        }
+    }
+}
+
+/// Operating mode (the `mode` input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Stream data through the `in`/`out` ports.
+    Normal,
+    /// Drive the pipeline from the LFSR and checksum the outputs.
+    Random {
+        /// LFSR seed.
+        seed: u32,
+        /// Number of generated items.
+        count: u64,
+    },
+}
+
+/// The chip model.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    config: ChipConfig,
+    engine: PipelinedOpe,
+}
+
+impl Chip {
+    /// Powers the chip up in the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a reconfigurable depth is outside 3..=18 — the chip
+    /// supports 16 settings (§IV).
+    #[must_use]
+    pub fn new(config: ChipConfig) -> Self {
+        if let ChipConfig::Reconfigurable { depth } = config {
+            assert!(
+                (MIN_DEPTH..=MAX_DEPTH).contains(&depth),
+                "reconfigurable depth {depth} out of the chip's 3..=18 range"
+            );
+        }
+        Chip {
+            config,
+            engine: PipelinedOpe::new(config.depth()),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> ChipConfig {
+        self.config
+    }
+
+    /// Normal mode: feeds `input` and returns the produced ranks
+    /// ("results are produced at the out port at every iteration").
+    pub fn run_normal(&mut self, input: &[u16]) -> Vec<u16> {
+        self.engine.encode_stream(input)
+    }
+
+    /// Random mode: generates `count` LFSR items, encodes them, and
+    /// returns the accumulator checksum (the single produced data item).
+    pub fn run_random(&mut self, seed: u32, count: u64) -> u64 {
+        let mut lfsr = Lfsr::new(seed);
+        let mut acc = Accumulator::new();
+        for _ in 0..count {
+            if let Some(rank) = self.engine.push(lfsr.next_item()) {
+                acc.push(rank);
+            }
+        }
+        acc.finish()
+    }
+
+    /// Runs the selected `mode`, returning the checksum for random mode and
+    /// a checksum over the outputs for normal mode (for uniform testing).
+    pub fn run(&mut self, mode: Mode, input: &[u16]) -> u64 {
+        match mode {
+            Mode::Normal => crate::accumulator::checksum(self.run_normal(input)),
+            Mode::Random { seed, count } => self.run_random(seed, count),
+        }
+    }
+}
+
+/// The golden checksum: the OPE *behavioural model* driven by the same
+/// seed/count — the validation flow of §IV.
+#[must_use]
+pub fn behavioural_checksum(depth: usize, seed: u32, count: u64) -> u64 {
+    let mut lfsr = Lfsr::new(seed);
+    let mut reference = ReferenceEncoder::new(depth);
+    let mut acc = Accumulator::new();
+    for _ in 0..count {
+        if let Some(rank) = reference.push(lfsr.next_item()) {
+            acc.push(rank);
+        }
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_mode_checksum_matches_behavioural_model() {
+        // the paper's validation: chip checksum vs behavioural model with
+        // the same seed and count
+        for depth in [3usize, 7, 18] {
+            let mut chip = Chip::new(ChipConfig::Reconfigurable { depth });
+            let got = chip.run_random(0x1234_5678, 10_000);
+            let expect = behavioural_checksum(depth, 0x1234_5678, 10_000);
+            assert_eq!(got, expect, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn static_and_reconfig_18_agree() {
+        // at depth 18 the reconfigurable pipeline must compute exactly what
+        // the static one does
+        let mut st = Chip::new(ChipConfig::Static);
+        let mut rc = Chip::new(ChipConfig::Reconfigurable { depth: 18 });
+        let a = st.run_random(0xABCD, 5_000);
+        let b = rc.run_random(0xABCD, 5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_mode_streams_ranks() {
+        let mut chip = Chip::new(ChipConfig::Reconfigurable { depth: 6 });
+        let out = chip.run_normal(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        assert_eq!(out, vec![6, 3, 5]);
+    }
+
+    #[test]
+    fn different_seeds_give_different_checksums() {
+        let mut a = Chip::new(ChipConfig::Static);
+        let mut b = Chip::new(ChipConfig::Static);
+        assert_ne!(a.run_random(1, 4_000), b.run_random(2, 4_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the chip's")]
+    fn depth_2_is_rejected() {
+        let _ = Chip::new(ChipConfig::Reconfigurable { depth: 2 });
+    }
+
+    #[test]
+    fn run_dispatches_modes() {
+        let mut chip = Chip::new(ChipConfig::Reconfigurable { depth: 5 });
+        let stream: Vec<u16> = crate::lfsr::Lfsr::new(9).items(1000);
+        let normal = chip.run(Mode::Normal, &stream);
+        let mut chip2 = Chip::new(ChipConfig::Reconfigurable { depth: 5 });
+        let rand = chip2.run(
+            Mode::Random {
+                seed: 9,
+                count: 1000,
+            },
+            &[],
+        );
+        assert_eq!(normal, rand, "normal mode over LFSR items equals random mode");
+    }
+}

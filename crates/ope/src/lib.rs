@@ -1,0 +1,43 @@
+//! Ordinal pattern encoding (OPE) accelerator — the paper's case study
+//! (§III-A) and evaluation vehicle (§IV).
+//!
+//! OPE "ranks" the last `N` items of a data stream: the rank of an item is
+//! the position it would end up at after (stable) sorting of the window.
+//! The fabricated chip contains a *static* 18-stage OPE pipeline and a
+//! *reconfigurable* one supporting window sizes 3–18, plus an LFSR stimulus
+//! generator and a checksum accumulator for testbench-free measurement
+//! (Fig. 8).
+//!
+//! Modules:
+//!
+//! * [`mod@reference`] — the behavioural (golden) model: windows and rank lists;
+//! * [`incremental`] — rank-reuse sliding-window encoder (the algorithmic
+//!   core of Guo, Luk & Weston's pipelined accelerator, ref. \[9\]);
+//! * [`pipeline`] — the stage-parallel engine matching the DFS pipeline
+//!   structure (stage `i` holds one window item; ranks are computed
+//!   concurrently and aggregated);
+//! * [`lfsr`] / [`accumulator`] — the chip's stimulus/checksum blocks;
+//! * [`dfs_model`] — DFS models of the static and reconfigurable OPE
+//!   pipelines (Fig. 7), built on `dfs_core::pipelines`;
+//! * [`chip`] — the evaluation-chip top level (Fig. 8a): mode/config
+//!   multiplexing, normal and random modes, checksum validation;
+//! * [`silicon_model`] — the calibrated chip-scale timing/energy model
+//!   behind the Fig. 9a/9b experiments (daisy-chain vs tree stage
+//!   synchronisation, alpha-power delay scaling, leakage floor).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod chip;
+pub mod dfs_model;
+pub mod incremental;
+pub mod lfsr;
+pub mod pipeline;
+pub mod reference;
+pub mod silicon_model;
+
+pub use chip::{Chip, ChipConfig, Mode};
+pub use lfsr::Lfsr;
+pub use pipeline::PipelinedOpe;
+pub use silicon_model::{ChipTimingModel, PipelineKind, SyncStyle};

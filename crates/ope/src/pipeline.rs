@@ -1,0 +1,123 @@
+//! The stage-parallel OPE engine matching the DFS pipeline structure.
+//!
+//! One stage per window position (Fig. 6a/7): stage `i` holds one window
+//! item in its `local` register. Each iteration the new item is broadcast
+//! on the global channel; every stage *concurrently* compares its held item
+//! against the new one (`g`), the per-stage contributions are aggregated
+//! into the newest item's rank, and the held items shift one stage down the
+//! local chain (`f`), retiring the oldest. The per-iteration output —
+//! the rank of the newest item — is exactly what the chip's `out` port
+//! produces and what the accumulator checksums.
+//!
+//! The reconfigurable engine uses only the first `depth` stages, matching
+//! the chip's 3..18 depth settings ("the pipeline depth corresponds to the
+//! OPE window size", §IV).
+
+use crate::reference::ReferenceEncoder;
+
+/// A software model of the N-stage OPE pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelinedOpe {
+    /// Held items, stage 0 = oldest. `None` until the stage has received
+    /// an item (pipeline warm-up).
+    stages: Vec<Option<u16>>,
+    depth: usize,
+}
+
+impl PipelinedOpe {
+    /// Creates an engine with `depth` active stages (= window size).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth == 0`.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        PipelinedOpe {
+            stages: vec![None; depth],
+            depth,
+        }
+    }
+
+    /// The configured depth (window size).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Feeds one item. Returns the rank of the new item within the current
+    /// window once all stages hold items.
+    pub fn push(&mut self, x: u16) -> Option<u16> {
+        // g: concurrent per-stage comparison against the broadcast item.
+        // Stage 0 holds the *retiring* item and does not participate; each
+        // surviving stage contributes 1 when its held item is smaller or
+        // equal (held items all precede the newest, so ties count below).
+        let warm = self.stages[1..].iter().all(Option::is_some);
+        let contributions: u16 = self.stages[1..]
+            .iter()
+            .flatten()
+            .map(|&w| u16::from(w <= x))
+            .sum();
+        // f: shift the local chain (retire stage 0, append the new item)
+        self.stages.rotate_left(1);
+        *self.stages.last_mut().expect("depth > 0") = Some(x);
+        warm.then_some(contributions + 1)
+    }
+
+    /// Runs a whole stream, collecting the warm outputs.
+    pub fn encode_stream(&mut self, stream: &[u16]) -> Vec<u16> {
+        stream.iter().filter_map(|&x| self.push(x)).collect()
+    }
+}
+
+/// Convenience: reference outputs for the same stream and depth (used by
+/// the chip validation flow).
+#[must_use]
+pub fn reference_stream(depth: usize, stream: &[u16]) -> Vec<u16> {
+    let mut r = ReferenceEncoder::new(depth);
+    stream.iter().filter_map(|&x| r.push(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_on_paper_stream() {
+        let stream = [3u16, 1, 4, 1, 5, 9, 2, 6];
+        let mut pipe = PipelinedOpe::new(6);
+        let got = pipe.encode_stream(&stream);
+        let expect = reference_stream(6, &stream);
+        assert_eq!(got, expect);
+        // the newest-item ranks of the three windows in the paper's table
+        assert_eq!(got, vec![6, 3, 5]);
+    }
+
+    #[test]
+    fn matches_reference_across_depths_and_ties() {
+        let mut seed = 0xDEAD_BEEFu32;
+        let mut stream = Vec::new();
+        for _ in 0..300 {
+            seed = seed.wrapping_mul(22_695_477).wrapping_add(1);
+            stream.push((seed >> 20) as u16 % 16);
+        }
+        for depth in [1usize, 2, 3, 6, 17, 18] {
+            let mut pipe = PipelinedOpe::new(depth);
+            assert_eq!(
+                pipe.encode_stream(&stream),
+                reference_stream(depth, &stream),
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_produces_no_output() {
+        let mut pipe = PipelinedOpe::new(4);
+        assert_eq!(pipe.push(1), None);
+        assert_eq!(pipe.push(2), None);
+        assert_eq!(pipe.push(3), None);
+        assert!(pipe.push(4).is_some());
+        assert_eq!(pipe.depth(), 4);
+    }
+}

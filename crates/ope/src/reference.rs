@@ -1,0 +1,133 @@
+//! Behavioural (golden) OPE model.
+//!
+//! "The rank of an item in a list is the position the item ends up at after
+//! sorting the list" (§III-A, footnote). Ties resolve by original position
+//! (stable sort), which makes the paper's example windows come out exactly
+//! as printed — both checked in the tests below.
+
+/// Stable 1-based ranks of the items in `window`.
+///
+/// `rank[i] = 1 + #{j : w[j] < w[i]} + #{j < i : w[j] == w[i]}`.
+///
+/// ```
+/// // the footnote example: ranks of (2, 0, 1, 7) are (3, 1, 2, 4)
+/// assert_eq!(rap_ope::reference::rank_list(&[2, 0, 1, 7]), vec![3, 1, 2, 4]);
+/// ```
+#[must_use]
+pub fn rank_list(window: &[u16]) -> Vec<u16> {
+    window
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let less = window.iter().filter(|&&y| y < x).count();
+            let equal_before = window[..i].iter().filter(|&&y| y == x).count();
+            (less + equal_before + 1) as u16
+        })
+        .collect()
+}
+
+/// The rank the *newest* (last) item of `window` gets — the per-iteration
+/// output of the pipelined engine.
+#[must_use]
+pub fn rank_of_newest(window: &[u16]) -> u16 {
+    *rank_list(window).last().expect("non-empty window")
+}
+
+/// Iterator over the rank lists of all complete windows of size `n` in
+/// `stream` (§III-A table).
+pub fn windows_ranked(stream: &[u16], n: usize) -> impl Iterator<Item = Vec<u16>> + '_ {
+    stream.windows(n).map(rank_list)
+}
+
+/// Streaming encoder producing [`rank_of_newest`] for every input item once
+/// the window is warm — the golden model for the chip's `out` port.
+#[derive(Debug, Clone)]
+pub struct ReferenceEncoder {
+    window: Vec<u16>,
+    n: usize,
+}
+
+impl ReferenceEncoder {
+    /// Creates an encoder with window size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "window size must be positive");
+        ReferenceEncoder {
+            window: Vec::with_capacity(n),
+            n,
+        }
+    }
+
+    /// Window size.
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.n
+    }
+
+    /// Feeds one item; returns the newest item's rank once the window is
+    /// full.
+    pub fn push(&mut self, x: u16) -> Option<u16> {
+        if self.window.len() == self.n {
+            self.window.remove(0);
+        }
+        self.window.push(x);
+        (self.window.len() == self.n).then(|| rank_of_newest(&self.window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §III-A: stream (3,1,4,1,5,9,2,6), N = 6.
+    #[test]
+    fn paper_table_windows() {
+        let stream = [3u16, 1, 4, 1, 5, 9, 2, 6];
+        let got: Vec<Vec<u16>> = windows_ranked(&stream, 6).collect();
+        assert_eq!(
+            got,
+            vec![
+                vec![3, 1, 4, 2, 5, 6],
+                vec![1, 4, 2, 5, 6, 3],
+                vec![3, 1, 4, 6, 2, 5],
+            ]
+        );
+    }
+
+    /// §III-A footnote: ranks of (2,0,1,7) are (3,1,2,4).
+    #[test]
+    fn paper_footnote_example() {
+        assert_eq!(rank_list(&[2, 0, 1, 7]), vec![3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn ties_resolve_stably() {
+        assert_eq!(rank_list(&[5, 5, 5]), vec![1, 2, 3]);
+        assert_eq!(rank_list(&[7, 3, 7]), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let w = [9u16, 2, 9, 4, 4, 0, 13];
+        let mut r = rank_list(&w);
+        r.sort_unstable();
+        let expect: Vec<u16> = (1..=w.len() as u16).collect();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn encoder_warms_up_then_streams() {
+        let mut enc = ReferenceEncoder::new(3);
+        assert_eq!(enc.push(5), None);
+        assert_eq!(enc.push(1), None);
+        // window (5,1,9): 9 is largest -> rank 3
+        assert_eq!(enc.push(9), Some(3));
+        // window (1,9,2): 2 is middle -> rank 2
+        assert_eq!(enc.push(2), Some(2));
+        assert_eq!(enc.window_size(), 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! Standard verification analyses: deadlock and persistence.
+//!
+//! These are the "standard properties" the paper verifies through MPSAT
+//! (§II-D): deadlock freedom, and persistence (absence of hazards — an
+//! enabled event must not be disabled by another event firing). Custom
+//! functional properties are expressed in the Reach-style language of the
+//! `rap-reach` crate and evaluated over the same state space.
+
+use crate::reachability::{StateId, StateSpace};
+use crate::{Marking, PetriNet, TransitionId};
+
+/// A reachable deadlock: a state with no enabled transitions.
+#[derive(Debug, Clone)]
+pub struct Deadlock {
+    /// The dead state.
+    pub state: StateId,
+    /// The dead marking itself.
+    pub marking: Marking,
+    /// Firing sequence from the initial marking to the dead state.
+    pub trace: Vec<TransitionId>,
+}
+
+/// Searches the state space for deadlocks.
+///
+/// Returns all dead states (often one suffices for debugging, but incorrect
+/// control initialisation in DFS models typically produces families of dead
+/// states; reporting them all mirrors the tool's behaviour).
+#[must_use]
+pub fn find_deadlocks(space: &StateSpace) -> Vec<Deadlock> {
+    space
+        .states()
+        .filter(|&s| space.successors(s).is_empty())
+        .map(|s| Deadlock {
+            state: s,
+            marking: space.marking(s).clone(),
+            trace: space.trace_to(s),
+        })
+        .collect()
+}
+
+/// A persistence violation: in `state`, both `enabled` and `disabler` were
+/// enabled, but firing `disabler` disabled `enabled` without it having fired.
+#[derive(Debug, Clone)]
+pub struct PersistenceViolation {
+    /// State in which the conflict occurs.
+    pub state: StateId,
+    /// The transition that loses its enabledness.
+    pub enabled: TransitionId,
+    /// The transition whose firing disables `enabled`.
+    pub disabler: TransitionId,
+    /// Trace from the initial marking to `state`.
+    pub trace: Vec<TransitionId>,
+}
+
+/// Checks persistence over the reachable state space.
+///
+/// A net is *persistent* when no enabled transition can be disabled by the
+/// firing of a different transition. Non-persistence in the PN image of a
+/// DFS model indicates a hazard (§III-A: "several cases of deadlock and
+/// non-persistent behaviour ... were identified").
+///
+/// `allowed_conflicts` lets the caller exempt transition pairs that are
+/// *intended* choices (e.g. the non-deterministic `Mt+`/`Mf+` evaluation of a
+/// control register fed by a data predicate); the predicate receives both
+/// transition ids and should return `true` when the pair is an intended
+/// choice rather than a hazard.
+#[must_use]
+pub fn find_persistence_violations(
+    net: &PetriNet,
+    space: &StateSpace,
+    mut allowed_conflicts: impl FnMut(TransitionId, TransitionId) -> bool,
+) -> Vec<PersistenceViolation> {
+    let mut out = Vec::new();
+    for s in space.states() {
+        let succs = space.successors(s);
+        if succs.len() < 2 {
+            continue;
+        }
+        for &(disabler, after) in succs {
+            for &(enabled, _) in succs {
+                if enabled == disabler {
+                    continue;
+                }
+                if net.is_enabled(enabled, space.marking(after)) {
+                    continue;
+                }
+                if allowed_conflicts(enabled, disabler) {
+                    continue;
+                }
+                out.push(PersistenceViolation {
+                    state: s,
+                    enabled,
+                    disabler,
+                    trace: space.trace_to(s),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Verifies that every reachable marking keeps the net 1-safe with respect to
+/// a set of *complementary place pairs*: for each pair exactly one of the two
+/// places is marked.
+///
+/// The DFS translation introduces `x_0`/`x_1` place pairs per state variable;
+/// this check is the structural invariant that validates the translation.
+#[must_use]
+pub fn check_complementary_pairs(
+    space: &StateSpace,
+    pairs: &[(crate::PlaceId, crate::PlaceId)],
+) -> Option<(StateId, usize)> {
+    for s in space.states() {
+        let m = space.marking(s);
+        for (i, &(p0, p1)) in pairs.iter().enumerate() {
+            if m.is_marked(p0) == m.is_marked(p1) {
+                return Some((s, i));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::{explore, ExploreConfig};
+    use crate::PetriNet;
+
+    #[test]
+    fn detects_deadlock_with_trace() {
+        // a -> b -> (dead)
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", true);
+        let b = net.add_place("b", false);
+        let c = net.add_place("c", false);
+        let t1 = net.add_transition("t1");
+        net.consume(t1, a);
+        net.produce(t1, b);
+        let t2 = net.add_transition("t2");
+        net.consume(t2, b);
+        net.produce(t2, c);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        let dls = find_deadlocks(&space);
+        assert_eq!(dls.len(), 1);
+        assert_eq!(dls[0].trace, vec![t1, t2]);
+        assert!(dls[0].marking.is_marked(c));
+    }
+
+    #[test]
+    fn live_ring_has_no_deadlock() {
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", true);
+        let b = net.add_place("b", false);
+        let t1 = net.add_transition("t1");
+        net.consume(t1, a);
+        net.produce(t1, b);
+        let t2 = net.add_transition("t2");
+        net.consume(t2, b);
+        net.produce(t2, a);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        assert!(find_deadlocks(&space).is_empty());
+    }
+
+    #[test]
+    fn detects_choice_as_persistence_violation() {
+        // one token, two competing consumers => classic conflict
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", true);
+        let b = net.add_place("b", false);
+        let c = net.add_place("c", false);
+        let t1 = net.add_transition("t1");
+        net.consume(t1, a);
+        net.produce(t1, b);
+        let t2 = net.add_transition("t2");
+        net.consume(t2, a);
+        net.produce(t2, c);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        let v = find_persistence_violations(&net, &space, |_, _| false);
+        // both orderings are reported
+        assert_eq!(v.len(), 2);
+        let allowed = find_persistence_violations(&net, &space, |_, _| true);
+        assert!(allowed.is_empty());
+    }
+
+    #[test]
+    fn concurrent_transitions_are_persistent() {
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", true);
+        let b = net.add_place("b", true);
+        let a1 = net.add_place("a1", false);
+        let b1 = net.add_place("b1", false);
+        let t1 = net.add_transition("t1");
+        net.consume(t1, a);
+        net.produce(t1, a1);
+        let t2 = net.add_transition("t2");
+        net.consume(t2, b);
+        net.produce(t2, b1);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        assert!(find_persistence_violations(&net, &space, |_, _| false).is_empty());
+    }
+
+    #[test]
+    fn complementary_pair_check() {
+        let mut net = PetriNet::new();
+        let x0 = net.add_place("x_0", true);
+        let x1 = net.add_place("x_1", false);
+        let t = net.add_transition("x+");
+        net.consume(t, x0);
+        net.produce(t, x1);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        assert!(check_complementary_pairs(&space, &[(x0, x1)]).is_none());
+
+        // a broken net where the pair can both become marked
+        let mut bad = PetriNet::new();
+        let y0 = bad.add_place("y_0", true);
+        let y1 = bad.add_place("y_1", false);
+        let t = bad.add_transition("oops");
+        bad.read(t, y0);
+        bad.produce(t, y1);
+        let space = explore(&bad, ExploreConfig::default()).unwrap();
+        let hit = check_complementary_pairs(&space, &[(y0, y1)]);
+        assert!(hit.is_some());
+    }
+}

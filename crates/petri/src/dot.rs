@@ -1,0 +1,101 @@
+//! Graphviz (DOT) export of nets.
+//!
+//! The Workcraft tool renders DFS models and their PN translations
+//! graphically; this module provides the equivalent offline artefact — a DOT
+//! document that renders places as circles (filled when initially marked),
+//! transitions as boxes, and read arcs as dashed undirected edges.
+
+use crate::PetriNet;
+use std::fmt::Write as _;
+
+/// Renders `net` as a DOT digraph.
+///
+/// The output is deterministic (index order) so it can be snapshot-tested.
+#[must_use]
+pub fn to_dot(net: &PetriNet) -> String {
+    let mut out = String::new();
+    out.push_str("digraph petri {\n  rankdir=LR;\n");
+    for p in net.places() {
+        let place = net.place(p);
+        let fill = if place.initially_marked {
+            ", style=filled, fillcolor=gray80"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=circle{fill}];",
+            escape(&place.name)
+        );
+    }
+    for t in net.transitions() {
+        let tr = net.transition(t);
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, height=0.2];",
+            escape(&tr.name)
+        );
+        for &p in tr.consumes() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                escape(&net.place(p).name),
+                escape(&tr.name)
+            );
+        }
+        for &p in tr.produces() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                escape(&tr.name),
+                escape(&net.place(p).name)
+            );
+        }
+        for &p in tr.reads() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [style=dashed, dir=none];",
+                escape(&net.place(p).name),
+                escape(&tr.name)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PetriNet;
+
+    #[test]
+    fn dot_contains_all_nodes_and_arc_styles() {
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", true);
+        let g = net.add_place("g", false);
+        let t = net.add_transition("fire");
+        net.consume(t, a);
+        net.read(t, g);
+        let dot = to_dot(&net);
+        assert!(dot.contains("\"a\" [shape=circle, style=filled"));
+        assert!(dot.contains("\"g\" [shape=circle]"));
+        assert!(dot.contains("\"fire\" [shape=box"));
+        assert!(dot.contains("\"a\" -> \"fire\";"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.starts_with("digraph petri {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut net = PetriNet::new();
+        net.add_place("we\"ird", false);
+        let dot = to_dot(&net);
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

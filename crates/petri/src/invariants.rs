@@ -1,0 +1,271 @@
+//! Structural analysis: place invariants (P-invariants).
+//!
+//! A weighting `y` of places is a *P-invariant* when `yᵀ·C = 0` for the
+//! incidence matrix `C` — the weighted token sum is then constant over
+//! **every** reachable marking, without exploring any of them. The DFS
+//! translation's complementary place pairs (`x_0 + x_1 = 1`) are structural
+//! P-invariants, so 1-safety of those pairs is certified purely
+//! structurally; the Farkas procedure below finds the full non-negative
+//! invariant basis for small nets.
+//!
+//! Read arcs do not contribute to the incidence matrix (they never move
+//! tokens), which is exactly why the read-arc-heavy DFS image stays so
+//! well-behaved structurally.
+
+use crate::{Marking, PetriNet, PlaceId};
+
+/// The incidence matrix entry for (place, transition):
+/// `produce − consume` (read arcs contribute 0; a self-loop
+/// consume+produce also nets 0).
+#[must_use]
+pub fn incidence(net: &PetriNet, p: PlaceId, t: crate::TransitionId) -> i64 {
+    let tr = net.transition(t);
+    let produced = i64::from(tr.produces().contains(&p));
+    let consumed = i64::from(tr.consumes().contains(&p));
+    produced - consumed
+}
+
+/// Is `weights` (indexed by place) a P-invariant of `net`?
+///
+/// # Panics
+///
+/// Panics when `weights.len()` differs from the place count.
+#[must_use]
+pub fn is_invariant(net: &PetriNet, weights: &[i64]) -> bool {
+    assert_eq!(weights.len(), net.place_count(), "weight vector length");
+    net.transitions().all(|t| {
+        net.places()
+            .map(|p| weights[p.index()] * incidence(net, p, t))
+            .sum::<i64>()
+            == 0
+    })
+}
+
+/// The invariant's token sum in a marking (for 1-safe markings: the number
+/// of marked places weighted by `weights`).
+#[must_use]
+pub fn invariant_value(weights: &[i64], marking: &Marking) -> i64 {
+    marking
+        .iter_marked()
+        .map(|p| weights[p.index()])
+        .sum::<i64>()
+}
+
+/// Computes a basis of non-negative P-invariants by the Farkas procedure.
+///
+/// Worst-case exponential; `max_rows` caps the intermediate tableau and
+/// the function returns `None` when exceeded (callers fall back to the
+/// targeted pair checks). Suitable for the nets the paper verifies.
+#[must_use]
+pub fn farkas_invariants(net: &PetriNet, max_rows: usize) -> Option<Vec<Vec<i64>>> {
+    let np = net.place_count();
+    // rows: [ D | y ] with D the evolving combination of columns, y the
+    // provenance; start with D = incidence, y = identity
+    let mut rows: Vec<(Vec<i64>, Vec<i64>)> = (0..np)
+        .map(|i| {
+            let p = PlaceId::from_index(i);
+            let d: Vec<i64> = net.transitions().map(|t| incidence(net, p, t)).collect();
+            let mut y = vec![0i64; np];
+            y[i] = 1;
+            (d, y)
+        })
+        .collect();
+
+    let nt = net.transition_count();
+    for col in 0..nt {
+        let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+        // keep rows already zero in this column
+        for row in &rows {
+            if row.0[col] == 0 {
+                next.push(row.clone());
+            }
+        }
+        // combine each positive with each negative row
+        for pos in rows.iter().filter(|r| r.0[col] > 0) {
+            for neg in rows.iter().filter(|r| r.0[col] < 0) {
+                let a = pos.0[col];
+                let b = -neg.0[col];
+                let g = gcd(a, b);
+                let (ka, kb) = (b / g, a / g);
+                let d: Vec<i64> = pos
+                    .0
+                    .iter()
+                    .zip(&neg.0)
+                    .map(|(x, y)| ka * x + kb * y)
+                    .collect();
+                let y: Vec<i64> = pos
+                    .1
+                    .iter()
+                    .zip(&neg.1)
+                    .map(|(x, z)| ka * x + kb * z)
+                    .collect();
+                let mut row = (d, y);
+                normalise(&mut row);
+                if !next.contains(&row) {
+                    next.push(row);
+                }
+                if next.len() > max_rows {
+                    return None;
+                }
+            }
+        }
+        rows = next;
+    }
+    // minimise: drop rows whose support strictly contains another's
+    let mut out: Vec<Vec<i64>> = rows.into_iter().map(|r| r.1).collect();
+    out.sort();
+    out.dedup();
+    let minimal: Vec<Vec<i64>> = out
+        .iter()
+        .filter(|y| {
+            !out.iter().any(|z| {
+                z != *y
+                    && z.iter()
+                        .zip(y.iter())
+                        .all(|(&a, &b)| a == 0 || b != 0)
+                    && z.iter().zip(y.iter()).any(|(&a, &b)| a == 0 && b != 0)
+            })
+        })
+        .cloned()
+        .collect();
+    Some(minimal)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn normalise(row: &mut (Vec<i64>, Vec<i64>)) {
+    let g = row
+        .0
+        .iter()
+        .chain(row.1.iter())
+        .fold(0i64, |acc, &x| gcd(acc, x));
+    if g > 1 {
+        for x in row.0.iter_mut().chain(row.1.iter_mut()) {
+            *x /= g;
+        }
+    }
+}
+
+/// Certifies that every place in `pairs` is 1-bounded structurally: each
+/// pair must be a P-invariant with initial token sum 1. Returns the index
+/// of the first failing pair.
+#[must_use]
+pub fn certify_complementary_pairs(
+    net: &PetriNet,
+    pairs: &[(PlaceId, PlaceId)],
+) -> Option<usize> {
+    let m0 = net.initial_marking();
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        // the weight vector is zero outside {a, b}: only those two places
+        // contribute to yᵀ·C, so check them directly per transition
+        let holds = net
+            .transitions()
+            .all(|t| incidence(net, a, t) + incidence(net, b, t) == 0);
+        let sum = i64::from(m0.is_marked(a)) + i64::from(m0.is_marked(b));
+        if !holds || sum != 1 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PetriNet;
+
+    fn ring(n: usize) -> PetriNet {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = (0..n)
+            .map(|i| net.add_place(format!("p{i}"), i == 0))
+            .collect();
+        for i in 0..n {
+            let t = net.add_transition(format!("t{i}"));
+            net.consume(t, places[i]);
+            net.produce(t, places[(i + 1) % n]);
+        }
+        net
+    }
+
+    #[test]
+    fn ring_token_count_is_invariant() {
+        let net = ring(4);
+        let all_ones = vec![1i64; 4];
+        assert!(is_invariant(&net, &all_ones));
+        assert_eq!(invariant_value(&all_ones, &net.initial_marking()), 1);
+        // a skewed weighting is not invariant
+        let skew = vec![2, 1, 1, 1];
+        assert!(!is_invariant(&net, &skew));
+    }
+
+    #[test]
+    fn read_arcs_do_not_affect_invariants() {
+        let mut net = ring(3);
+        let g = net.add_place("guard", true);
+        let t0 = net.transition_by_name("t0").unwrap();
+        net.read(t0, g);
+        let mut w = vec![1i64; net.place_count()];
+        w[g.index()] = 0;
+        assert!(is_invariant(&net, &w));
+        // the guard alone is also invariant (nothing consumes it)
+        let mut wg = vec![0i64; net.place_count()];
+        wg[g.index()] = 1;
+        assert!(is_invariant(&net, &wg));
+    }
+
+    #[test]
+    fn farkas_finds_the_ring_invariant() {
+        let net = ring(5);
+        let basis = farkas_invariants(&net, 10_000).expect("small net");
+        assert!(basis.iter().any(|y| y.iter().all(|&x| x == 1)));
+        for y in &basis {
+            assert!(is_invariant(&net, y));
+        }
+    }
+
+    #[test]
+    fn two_independent_rings_give_two_invariants() {
+        let mut net = PetriNet::new();
+        let a0 = net.add_place("a0", true);
+        let a1 = net.add_place("a1", false);
+        let b0 = net.add_place("b0", true);
+        let b1 = net.add_place("b1", false);
+        for (name, from, to) in [("ta", a0, a1), ("ta2", a1, a0), ("tb", b0, b1), ("tb2", b1, b0)]
+        {
+            let t = net.add_transition(name);
+            net.consume(t, from);
+            net.produce(t, to);
+        }
+        let basis = farkas_invariants(&net, 10_000).unwrap();
+        assert_eq!(basis.len(), 2);
+    }
+
+    #[test]
+    fn complementary_pair_certification() {
+        let mut net = PetriNet::new();
+        let x0 = net.add_place("x0", true);
+        let x1 = net.add_place("x1", false);
+        let up = net.add_transition("x+");
+        net.consume(up, x0);
+        net.produce(up, x1);
+        let dn = net.add_transition("x-");
+        net.consume(dn, x1);
+        net.produce(dn, x0);
+        assert_eq!(certify_complementary_pairs(&net, &[(x0, x1)]), None);
+
+        // a net that can double-mark the pair fails certification
+        let mut bad = PetriNet::new();
+        let y0 = bad.add_place("y0", true);
+        let y1 = bad.add_place("y1", false);
+        let t = bad.add_transition("oops");
+        bad.read(t, y0);
+        bad.produce(t, y1);
+        assert_eq!(certify_complementary_pairs(&bad, &[(y0, y1)]), Some(0));
+    }
+}

@@ -1,0 +1,60 @@
+//! 1-safe Petri nets with read arcs, and the analyses needed to verify
+//! Dataflow Structures (DFS) models.
+//!
+//! This crate is the verification substrate of the workspace: it stands in
+//! for the MPSAT backend used by the paper *Reconfigurable Asynchronous
+//! Pipelines: from Formal Models to Silicon* (DATE'18). DFS models are
+//! mechanically translated into nets of this crate (see `dfs-core`), and the
+//! standard properties — deadlock freedom, persistence, custom reachability
+//! predicates — are decided by explicit-state exploration.
+//!
+//! # Model
+//!
+//! A [`PetriNet`] is a set of places, a set of transitions, and three arc
+//! relations: *consume* (place → transition), *produce* (transition → place)
+//! and *read* (place ↔ transition, non-consuming test arcs in the sense of
+//! Rosenblum & Yakovlev's signal graphs). Nets are assumed **1-safe**: a
+//! place holds at most one token. The firing rule enforces this (a transition
+//! producing into a marked place that it does not also consume from is not
+//! enabled — the *complementary-place* discipline used by the DFS
+//! translation guarantees this never constrains legal behaviour), and the
+//! [`reachability`] explorer checks safety as an invariant.
+//!
+//! # Example
+//!
+//! ```
+//! use rap_petri::{PetriNet, Marking};
+//!
+//! let mut net = PetriNet::new();
+//! let p0 = net.add_place("req_0", true);   // initially marked
+//! let p1 = net.add_place("req_1", false);
+//! let go = net.add_place("enable", true);
+//! let t_plus = net.add_transition("req+");
+//! net.consume(t_plus, p0);
+//! net.produce(t_plus, p1);
+//! net.read(t_plus, go);                    // test without consuming
+//!
+//! let m0 = net.initial_marking();
+//! assert!(net.is_enabled(t_plus, &m0));
+//! let m1 = net.fire(t_plus, &m0).unwrap();
+//! assert!(m1.is_marked(p1));
+//! assert!(m1.is_marked(go)); // read arc left the token in place
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod marking;
+mod net;
+
+pub mod analysis;
+pub mod dot;
+pub mod invariants;
+pub mod reachability;
+
+pub use error::PetriError;
+pub use ids::{PlaceId, TransitionId};
+pub use marking::Marking;
+pub use net::{Place, PetriNet, Transition};

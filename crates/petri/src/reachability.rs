@@ -1,0 +1,270 @@
+//! Explicit-state reachability exploration.
+//!
+//! The explorer performs a breadth-first traversal of the reachable markings
+//! of a [`PetriNet`], recording for every state its predecessor so that a
+//! firing trace (counterexample) can be reconstructed for any reached state.
+//!
+//! This is the workhorse behind deadlock detection, persistence checking and
+//! Reach-predicate queries, standing in for the paper's MPSAT backend. DFS
+//! translations are 1-safe by construction, so markings are compact bitsets
+//! and exploration of the models verified in the paper (stage structures and
+//! few-stage pipelines) completes in milliseconds.
+
+use crate::{Marking, PetriError, PetriNet, TransitionId};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum number of distinct states to store before giving up.
+    pub max_states: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Dense id of a state discovered during exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// Dense index of the state (0 = initial marking).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The reachable state space of a net.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    markings: Vec<Marking>,
+    /// For each state except the initial one: (predecessor, fired transition).
+    parents: Vec<Option<(StateId, TransitionId)>>,
+    /// Outgoing edges of every state: (transition, successor).
+    successors: Vec<Vec<(TransitionId, StateId)>>,
+    /// Whether exploration stopped early because of the state budget.
+    truncated: bool,
+}
+
+impl StateSpace {
+    /// Number of reachable states discovered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// `true` when the net has no reachable states (impossible: the initial
+    /// marking always exists), kept for `len`/`is_empty` pairing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.markings.is_empty()
+    }
+
+    /// Did exploration stop early because of [`ExploreConfig::max_states`]?
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The marking of `state`.
+    #[must_use]
+    pub fn marking(&self, state: StateId) -> &Marking {
+        &self.markings[state.index()]
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// Iterates over all states.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.markings.len() as u32).map(StateId)
+    }
+
+    /// Outgoing edges `(transition, successor)` of `state`.
+    #[must_use]
+    pub fn successors(&self, state: StateId) -> &[(TransitionId, StateId)] {
+        &self.successors[state.index()]
+    }
+
+    /// Reconstructs the firing sequence from the initial state to `state`.
+    #[must_use]
+    pub fn trace_to(&self, state: StateId) -> Vec<TransitionId> {
+        let mut rev = Vec::new();
+        let mut cur = state;
+        while let Some((prev, t)) = self.parents[cur.index()] {
+            rev.push(t);
+            cur = prev;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Finds a state whose marking satisfies `pred`, if any.
+    pub fn find_state(&self, mut pred: impl FnMut(&Marking) -> bool) -> Option<StateId> {
+        self.states().find(|&s| pred(self.marking(s)))
+    }
+}
+
+/// Explores the reachable markings of `net` starting from its initial
+/// marking.
+///
+/// # Errors
+///
+/// Returns [`PetriError::StateBudgetExceeded`] when more than
+/// `config.max_states` distinct markings are reachable. Use
+/// [`explore_truncated`] to get the partial state space instead.
+pub fn explore(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, PetriError> {
+    let space = explore_truncated(net, config);
+    if space.truncated {
+        return Err(PetriError::StateBudgetExceeded {
+            budget: config.max_states,
+        });
+    }
+    Ok(space)
+}
+
+/// Like [`explore`] but returns the partial state space (with
+/// [`StateSpace::is_truncated`] set) instead of an error when the budget is
+/// exceeded.
+#[must_use]
+pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
+    let m0 = net.initial_marking();
+    let mut index: HashMap<Marking, StateId> = HashMap::new();
+    let mut markings = vec![m0.clone()];
+    let mut parents: Vec<Option<(StateId, TransitionId)>> = vec![None];
+    let mut successors: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
+    index.insert(m0, StateId(0));
+
+    let mut queue = VecDeque::new();
+    queue.push_back(StateId(0));
+    let mut truncated = false;
+
+    'bfs: while let Some(s) = queue.pop_front() {
+        let marking = markings[s.index()].clone();
+        for t in net.transitions() {
+            if !net.is_enabled(t, &marking) {
+                continue;
+            }
+            let next = net
+                .fire(t, &marking)
+                .expect("enabled transition must fire");
+            let succ = match index.entry(next) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    if markings.len() >= config.max_states {
+                        truncated = true;
+                        break 'bfs;
+                    }
+                    let id = StateId(markings.len() as u32);
+                    markings.push(e.key().clone());
+                    parents.push(Some((s, t)));
+                    successors.push(Vec::new());
+                    queue.push_back(id);
+                    e.insert(id);
+                    id
+                }
+            };
+            successors[s.index()].push((t, succ));
+        }
+    }
+
+    StateSpace {
+        markings,
+        parents,
+        successors,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlaceId;
+
+    /// A ring of `n` places with one token circulating.
+    fn ring(n: usize) -> PetriNet {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = (0..n)
+            .map(|i| net.add_place(format!("p{i}"), i == 0))
+            .collect();
+        for i in 0..n {
+            let t = net.add_transition(format!("t{i}"));
+            net.consume(t, places[i]);
+            net.produce(t, places[(i + 1) % n]);
+        }
+        net
+    }
+
+    #[test]
+    fn ring_has_n_states() {
+        let net = ring(5);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        assert_eq!(space.len(), 5);
+        assert!(!space.is_truncated());
+    }
+
+    #[test]
+    fn traces_replay_to_the_right_marking() {
+        let net = ring(4);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        for s in space.states() {
+            let mut m = net.initial_marking();
+            for t in space.trace_to(s) {
+                m = net.fire(t, &m).unwrap();
+            }
+            assert_eq!(&m, space.marking(s));
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let net = ring(10);
+        let err = explore(&net, ExploreConfig { max_states: 3 }).unwrap_err();
+        assert_eq!(err, PetriError::StateBudgetExceeded { budget: 3 });
+        let partial = explore_truncated(&net, ExploreConfig { max_states: 3 });
+        assert!(partial.is_truncated());
+        assert_eq!(partial.len(), 3);
+    }
+
+    #[test]
+    fn independent_tokens_interleave() {
+        // two independent 2-rings => 4 states
+        let mut net = PetriNet::new();
+        let a0 = net.add_place("a0", true);
+        let a1 = net.add_place("a1", false);
+        let b0 = net.add_place("b0", true);
+        let b1 = net.add_place("b1", false);
+        for (name, from, to) in [
+            ("ta+", a0, a1),
+            ("ta-", a1, a0),
+            ("tb+", b0, b1),
+            ("tb-", b1, b0),
+        ] {
+            let t = net.add_transition(name);
+            net.consume(t, from);
+            net.produce(t, to);
+        }
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        assert_eq!(space.len(), 4);
+    }
+
+    #[test]
+    fn find_state_locates_marking() {
+        let net = ring(6);
+        let space = explore(&net, ExploreConfig::default()).unwrap();
+        let p3 = net.place_by_name("p3").unwrap();
+        let s = space.find_state(|m| m.is_marked(p3)).unwrap();
+        assert!(space.marking(s).is_marked(p3));
+        assert_eq!(space.trace_to(s).len(), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the firing rule and reachability explorer.
+
+use proptest::prelude::*;
+use rap_petri::reachability::{explore_truncated, ExploreConfig};
+use rap_petri::{Marking, PetriNet, PlaceId};
+
+/// Strategy: a random net over `np` places and `nt` transitions with small
+/// arc lists. Initial marking is random.
+fn arb_net(np: usize, nt: usize) -> impl Strategy<Value = PetriNet> {
+    let place_marks = proptest::collection::vec(any::<bool>(), np);
+    let arcs = proptest::collection::vec(
+        (
+            proptest::collection::vec(0..np, 0..3), // consumes
+            proptest::collection::vec(0..np, 0..3), // produces
+            proptest::collection::vec(0..np, 0..2), // reads
+        ),
+        nt,
+    );
+    (place_marks, arcs).prop_map(move |(marks, arcs)| {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = marks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| net.add_place(format!("p{i}"), m))
+            .collect();
+        for (i, (cons, prod, reads)) in arcs.into_iter().enumerate() {
+            let t = net.add_transition(format!("t{i}"));
+            for c in cons {
+                net.consume(t, places[c]);
+            }
+            for p in prod {
+                net.produce(t, places[p]);
+            }
+            for r in reads {
+                net.read(t, places[r]);
+            }
+        }
+        net
+    })
+}
+
+fn token_count(m: &Marking) -> usize {
+    m.count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Firing an enabled transition always yields a 1-safe marking, and read
+    /// arcs never change the marking of the read place.
+    #[test]
+    fn firing_preserves_safety(net in arb_net(12, 10)) {
+        let m0 = net.initial_marking();
+        for t in net.transitions() {
+            if net.is_enabled(t, &m0) {
+                let m1 = net.fire(t, &m0).unwrap();
+                prop_assert!(m1.len() == m0.len());
+                for &p in net.transition(t).reads() {
+                    // read arcs are non-destructive unless also consumed
+                    if net.transition(t).consumes().binary_search(&p).is_err() {
+                        prop_assert!(m1.is_marked(p));
+                    }
+                }
+            } else {
+                prop_assert!(net.fire(t, &m0).is_err());
+            }
+        }
+    }
+
+    /// Every state in the explored space is reachable by replaying its trace.
+    #[test]
+    fn traces_replay(net in arb_net(10, 8)) {
+        let space = explore_truncated(&net, ExploreConfig { max_states: 5_000 });
+        for s in space.states() {
+            let mut m = net.initial_marking();
+            for t in space.trace_to(s) {
+                m = net.fire(t, &m).unwrap();
+            }
+            prop_assert_eq!(&m, space.marking(s));
+        }
+    }
+
+    /// In a conservative net (every transition consumes exactly as many
+    /// tokens as it produces and never reads), the token count is invariant
+    /// over the whole reachable space.
+    #[test]
+    fn token_conservation_in_conservative_nets(
+        marks in proptest::collection::vec(any::<bool>(), 8),
+        pairs in proptest::collection::vec((0usize..8, 0usize..8), 1..8,)
+    ) {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = marks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| net.add_place(format!("p{i}"), m))
+            .collect();
+        for (i, (from, to)) in pairs.into_iter().enumerate() {
+            if from == to {
+                continue;
+            }
+            let t = net.add_transition(format!("t{i}"));
+            net.consume(t, places[from]);
+            net.produce(t, places[to]);
+        }
+        let space = explore_truncated(&net, ExploreConfig { max_states: 5_000 });
+        prop_assume!(!space.is_truncated());
+        let n0 = token_count(space.marking(space.initial()));
+        for s in space.states() {
+            prop_assert_eq!(token_count(space.marking(s)), n0);
+        }
+    }
+
+    /// Exploration is deterministic: two runs discover identical spaces.
+    #[test]
+    fn exploration_is_deterministic(net in arb_net(9, 9)) {
+        let a = explore_truncated(&net, ExploreConfig { max_states: 2_000 });
+        let b = explore_truncated(&net, ExploreConfig { max_states: 2_000 });
+        prop_assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.states().zip(b.states()) {
+            prop_assert_eq!(a.marking(sa), b.marking(sb));
+            prop_assert_eq!(a.successors(sa), b.successors(sb));
+        }
+    }
+}

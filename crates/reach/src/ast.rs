@@ -1,0 +1,127 @@
+//! Abstract syntax of Reach predicates.
+
+use std::fmt;
+
+/// Which net component set a quantifier ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetKind {
+    /// `places("glob")`
+    Places,
+    /// `transitions("glob")`
+    Transitions,
+}
+
+/// The argument of `marked(..)` / `enabled(..)`: a literal name or a
+/// quantifier-bound variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameRef {
+    /// A double-quoted literal name.
+    Literal(String),
+    /// A bare identifier bound by an enclosing `forall`/`exists`.
+    Var(String),
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Boolean constant.
+    Const(bool),
+    /// `marked(name)` — the named place carries a token.
+    Marked(NameRef),
+    /// `enabled(name)` — the named transition is enabled.
+    Enabled(NameRef),
+    /// `!e`
+    Not(Box<Expr>),
+    /// `a & b`
+    And(Box<Expr>, Box<Expr>),
+    /// `a | b`
+    Or(Box<Expr>, Box<Expr>),
+    /// `a ^ b`
+    Xor(Box<Expr>, Box<Expr>),
+    /// `a -> b`
+    Imp(Box<Expr>, Box<Expr>),
+    /// `a <-> b`
+    Iff(Box<Expr>, Box<Expr>),
+    /// `forall v in set("glob"): body`
+    Forall {
+        /// Bound variable name.
+        var: String,
+        /// Set the variable ranges over.
+        set: SetKind,
+        /// Glob pattern selecting the set members.
+        pattern: String,
+        /// Quantified body.
+        body: Box<Expr>,
+    },
+    /// `exists v in set("glob"): body`
+    Exists {
+        /// Bound variable name.
+        var: String,
+        /// Set the variable ranges over.
+        set: SetKind,
+        /// Glob pattern selecting the set members.
+        pattern: String,
+        /// Quantified body.
+        body: Box<Expr>,
+    },
+}
+
+impl fmt::Display for NameRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameRef::Literal(s) => write!(f, "\"{s}\""),
+            NameRef::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(b) => write!(f, "{b}"),
+            Expr::Marked(n) => write!(f, "marked({n})"),
+            Expr::Enabled(n) => write!(f, "enabled({n})"),
+            Expr::Not(e) => write!(f, "!{e}"),
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+            Expr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            Expr::Imp(a, b) => write!(f, "({a} -> {b})"),
+            Expr::Iff(a, b) => write!(f, "({a} <-> {b})"),
+            Expr::Forall {
+                var,
+                set,
+                pattern,
+                body,
+            } => write!(f, "forall {var} in {}(\"{pattern}\"): {body}", set_name(*set)),
+            Expr::Exists {
+                var,
+                set,
+                pattern,
+                body,
+            } => write!(f, "exists {var} in {}(\"{pattern}\"): {body}", set_name(*set)),
+        }
+    }
+}
+
+fn set_name(k: SetKind) -> &'static str {
+    match k {
+        SetKind::Places => "places",
+        SetKind::Transitions => "transitions",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let e = Expr::And(
+            Box::new(Expr::Marked(NameRef::Literal("a".into()))),
+            Box::new(Expr::Not(Box::new(Expr::Enabled(NameRef::Literal(
+                "t".into(),
+            ))))),
+        );
+        assert_eq!(e.to_string(), "(marked(\"a\") & !enabled(\"t\"))");
+    }
+}

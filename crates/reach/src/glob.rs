@@ -1,0 +1,80 @@
+//! Minimal glob matching for `places("…")` / `transitions("…")` patterns.
+
+/// Matches `name` against `pattern`, where `*` matches any (possibly empty)
+/// run of characters and `?` matches exactly one character. All other
+/// characters match themselves.
+///
+/// ```
+/// use rap_reach::glob_match;
+/// assert!(glob_match("Mt_*_1", "Mt_ctrl_1"));
+/// assert!(glob_match("C_l?", "C_l2"));
+/// assert!(!glob_match("Mt_*", "Mf_ctrl"));
+/// ```
+#[must_use]
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // iterative wildcard matching with backtracking over the last `*`
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut star_ni) = (None::<usize>, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_ni = ni;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            star_ni += 1;
+            ni = star_ni;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(!glob_match("abc", "ab"));
+    }
+
+    #[test]
+    fn star_matches_runs() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("M_*_1", "M_out_1"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b", "ac"));
+    }
+
+    #[test]
+    fn question_matches_one() {
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(!glob_match("a?c", "abbc"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        assert!(glob_match("*_1", "Mt_ctrl_1"));
+        assert!(glob_match("**a**", "bbabb"));
+        assert!(!glob_match("*z*", "abc"));
+    }
+
+    #[test]
+    fn unicode_names() {
+        assert!(glob_match("π*", "πr2"));
+    }
+}

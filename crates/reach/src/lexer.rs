@@ -1,0 +1,196 @@
+//! Tokeniser for the Reach predicate language.
+
+use crate::ReachError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub offset: usize,
+    pub kind: TokenKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    Ident(String),
+    Str(String),
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Arrow,
+    DArrow,
+    LParen,
+    RParen,
+    Colon,
+}
+
+impl TokenKind {
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::DArrow => "`<->`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Colon => "`:`".into(),
+        }
+    }
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ReachError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '!' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Bang,
+                });
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Amp,
+                });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Pipe,
+                });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Caret,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::LParen,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::RParen,
+                });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Colon,
+                });
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Arrow,
+                });
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') => {
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::DArrow,
+                });
+                i += 3;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ReachError::UnexpectedEnd);
+                }
+                tokens.push(Token {
+                    offset: i,
+                    kind: TokenKind::Str(src[start..j].to_string()),
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Ident(src[start..j].to_string()),
+                });
+                i = j;
+            }
+            other => {
+                return Err(ReachError::UnexpectedChar {
+                    offset: i,
+                    ch: other,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_all_token_kinds() {
+        let toks = lex(r#"forall p in places("a_*"): !marked(p) & true -> x <-> y ^ z | w"#)
+            .unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "forall"));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Str(s) if s == "a_*")));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Arrow)));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::DArrow)));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Caret)));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert_eq!(lex("\"abc").unwrap_err(), ReachError::UnexpectedEnd);
+    }
+
+    #[test]
+    fn bad_char_reports_offset() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(
+            err,
+            ReachError::UnexpectedChar {
+                offset: 2,
+                ch: '@'
+            }
+        );
+    }
+
+    #[test]
+    fn names_may_contain_plus_minus_inside_strings() {
+        let toks = lex(r#"enabled("Mt_ctrl+")"#).unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "Mt_ctrl+")));
+    }
+}

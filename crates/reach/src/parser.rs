@@ -1,0 +1,303 @@
+//! Recursive-descent parser for the Reach grammar (see crate docs).
+
+use crate::ast::{Expr, NameRef, SetKind};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::ReachError;
+
+pub(crate) fn parse(src: &str) -> Result<Expr, ReachError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.iff()?;
+    if p.pos != p.tokens.len() {
+        let t = &p.tokens[p.pos];
+        return Err(ReachError::UnexpectedToken {
+            offset: t.offset,
+            found: t.kind.describe(),
+            expected: "end of input",
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Result<&Token, ReachError> {
+        let t = self.tokens.get(self.pos).ok_or(ReachError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &'static str) -> Result<(), ReachError> {
+        let t = self.tokens.get(self.pos).ok_or(ReachError::UnexpectedEnd)?;
+        if &t.kind == kind {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ReachError::UnexpectedToken {
+                offset: t.offset,
+                found: t.kind.describe(),
+                expected: what,
+            })
+        }
+    }
+
+    fn iff(&mut self) -> Result<Expr, ReachError> {
+        let mut lhs = self.imp()?;
+        while self.peek() == Some(&TokenKind::DArrow) {
+            self.pos += 1;
+            let rhs = self.imp()?;
+            lhs = Expr::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn imp(&mut self) -> Result<Expr, ReachError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&TokenKind::Arrow) {
+            self.pos += 1;
+            // right associative
+            let rhs = self.imp()?;
+            return Ok(Expr::Imp(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Expr, ReachError> {
+        let mut lhs = self.xor()?;
+        while self.peek() == Some(&TokenKind::Pipe) {
+            self.pos += 1;
+            let rhs = self.xor()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor(&mut self) -> Result<Expr, ReachError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&TokenKind::Caret) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = Expr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ReachError> {
+        let mut lhs = self.not()?;
+        while self.peek() == Some(&TokenKind::Amp) {
+            self.pos += 1;
+            let rhs = self.not()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not(&mut self) -> Result<Expr, ReachError> {
+        if self.peek() == Some(&TokenKind::Bang) {
+            self.pos += 1;
+            let e = self.not()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ReachError> {
+        let t = self.bump()?.clone();
+        match t.kind {
+            TokenKind::LParen => {
+                let e = self.iff()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(ref id) => match id.as_str() {
+                "true" => Ok(Expr::Const(true)),
+                "false" => Ok(Expr::Const(false)),
+                "marked" => {
+                    let name = self.name_arg()?;
+                    Ok(Expr::Marked(name))
+                }
+                "enabled" => {
+                    let name = self.name_arg()?;
+                    Ok(Expr::Enabled(name))
+                }
+                "forall" | "exists" => {
+                    let is_forall = id == "forall";
+                    let var = self.ident("variable name")?;
+                    let in_kw = self.ident("`in`")?;
+                    if in_kw != "in" {
+                        return Err(ReachError::UnexpectedToken {
+                            offset: t.offset,
+                            found: format!("identifier `{in_kw}`"),
+                            expected: "`in`",
+                        });
+                    }
+                    let set_kw = self.ident("`places` or `transitions`")?;
+                    let set = match set_kw.as_str() {
+                        "places" => SetKind::Places,
+                        "transitions" => SetKind::Transitions,
+                        other => {
+                            return Err(ReachError::UnexpectedToken {
+                                offset: t.offset,
+                                found: format!("identifier `{other}`"),
+                                expected: "`places` or `transitions`",
+                            })
+                        }
+                    };
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let pattern = self.string("glob pattern")?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    self.expect(&TokenKind::Colon, "`:`")?;
+                    let body = Box::new(self.not()?);
+                    Ok(if is_forall {
+                        Expr::Forall {
+                            var,
+                            set,
+                            pattern,
+                            body,
+                        }
+                    } else {
+                        Expr::Exists {
+                            var,
+                            set,
+                            pattern,
+                            body,
+                        }
+                    })
+                }
+                _ => Err(ReachError::UnexpectedToken {
+                    offset: t.offset,
+                    found: t.kind.describe(),
+                    expected: "an atom (`marked`, `enabled`, `forall`, `exists`, `true`, `false`)",
+                }),
+            },
+            ref other => Err(ReachError::UnexpectedToken {
+                offset: t.offset,
+                found: other.describe(),
+                expected: "an atom",
+            }),
+        }
+    }
+
+    /// Parses `( STRING )` or `( IDENT )` after `marked`/`enabled`.
+    fn name_arg(&mut self) -> Result<NameRef, ReachError> {
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let t = self.bump()?.clone();
+        let name = match t.kind {
+            TokenKind::Str(s) => NameRef::Literal(s),
+            TokenKind::Ident(v) => NameRef::Var(v),
+            other => {
+                return Err(ReachError::UnexpectedToken {
+                    offset: t.offset,
+                    found: other.describe(),
+                    expected: "a quoted name or variable",
+                })
+            }
+        };
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(name)
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<String, ReachError> {
+        let t = self.bump()?.clone();
+        match t.kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ReachError::UnexpectedToken {
+                offset: t.offset,
+                found: other.describe(),
+                expected: what,
+            }),
+        }
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, ReachError> {
+        let t = self.bump()?.clone();
+        match t.kind {
+            TokenKind::Str(s) => Ok(s),
+            other => Err(ReachError::UnexpectedToken {
+                offset: t.offset,
+                found: other.describe(),
+                expected: what,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::NameRef;
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let e = parse(r#"marked("a") | marked("b") & marked("c")"#).unwrap();
+        match e {
+            Expr::Or(_, rhs) => assert!(matches!(*rhs, Expr::And(_, _))),
+            other => panic!("expected Or at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let e = parse(r#"marked("a") -> marked("b") -> marked("c")"#).unwrap();
+        match e {
+            Expr::Imp(_, rhs) => assert!(matches!(*rhs, Expr::Imp(_, _))),
+            other => panic!("expected Imp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        let e = parse(r#"forall p in places("Mt_*"): !marked(p)"#).unwrap();
+        match e {
+            Expr::Forall {
+                var,
+                set,
+                pattern,
+                body,
+            } => {
+                assert_eq!(var, "p");
+                assert_eq!(set, SetKind::Places);
+                assert_eq!(pattern, "Mt_*");
+                assert!(matches!(*body, Expr::Not(_)));
+            }
+            other => panic!("expected Forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_variables_in_atoms() {
+        let e = parse(r#"exists t in transitions("*+"): enabled(t)"#).unwrap();
+        match e {
+            Expr::Exists { body, .. } => {
+                assert_eq!(*body, Expr::Enabled(NameRef::Var("t".into())));
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_error() {
+        let err = parse(r#"true true"#).unwrap_err();
+        assert!(matches!(err, ReachError::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn missing_paren_errors() {
+        assert!(parse(r#"marked("a""#).is_err());
+        assert!(parse(r#"(true"#).is_err());
+    }
+
+    #[test]
+    fn double_negation_parses() {
+        let e = parse(r#"!!true"#).unwrap();
+        assert!(matches!(e, Expr::Not(_)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: the `Display` form of any predicate re-parses to an
+//! equivalent predicate, and evaluation respects Boolean algebra.
+
+use proptest::prelude::*;
+use rap_petri::PetriNet;
+use rap_reach::{Expr, Predicate};
+
+/// Strategy for random predicates over a fixed set of place/transition
+/// names.
+fn arb_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("true".to_string()),
+        Just("false".to_string()),
+        (0usize..4).prop_map(|i| format!("marked(\"p{i}\")")),
+        (0usize..2).prop_map(|i| format!("enabled(\"t{i}\")")),
+        Just("forall q in places(\"p*\"): marked(q)".to_string()),
+        Just("exists q in places(\"p?\"): !marked(q)".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} & {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} | {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} ^ {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} -> {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} <-> {b})")),
+            inner.prop_map(|a| format!("!{a}")),
+        ]
+    })
+}
+
+fn demo_net() -> PetriNet {
+    let mut net = PetriNet::new();
+    let p0 = net.add_place("p0", true);
+    net.add_place("p1", false);
+    net.add_place("p2", true);
+    net.add_place("p3", false);
+    let t0 = net.add_transition("t0");
+    net.read(t0, p0);
+    let t1 = net.add_transition("t1");
+    net.consume(t1, p0);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse → Display → parse is a fixpoint, and both parses evaluate
+    /// identically.
+    #[test]
+    fn display_reparses_equivalently(src in arb_expr()) {
+        let net = demo_net();
+        let p1 = Predicate::parse(&src).expect("generated source parses");
+        let rendered = p1.to_string();
+        let p2 = Predicate::parse(&rendered).expect("rendered form parses");
+        // second render must be a fixpoint
+        prop_assert_eq!(&rendered, &p2.to_string());
+        let m = net.initial_marking();
+        let v1 = p1.compile(&net).unwrap().eval(&net, &m);
+        let v2 = p2.compile(&net).unwrap().eval(&net, &m);
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// De Morgan / implication identities hold under evaluation.
+    #[test]
+    fn boolean_identities(a in arb_expr(), b in arb_expr()) {
+        let net = demo_net();
+        let m = net.initial_marking();
+        let eval = |src: &str| {
+            Predicate::parse(src)
+                .unwrap()
+                .compile(&net)
+                .unwrap()
+                .eval(&net, &m)
+        };
+        prop_assert_eq!(
+            eval(&format!("!({a} & {b})")),
+            eval(&format!("(!{a} | !{b})"))
+        );
+        prop_assert_eq!(
+            eval(&format!("({a} -> {b})")),
+            eval(&format!("(!{a} | {b})"))
+        );
+        prop_assert_eq!(
+            eval(&format!("({a} <-> {b})")),
+            eval(&format!("!({a} ^ {b})"))
+        );
+    }
+}
+
+#[test]
+fn ast_is_inspectable() {
+    let p = Predicate::parse("marked(\"p0\") & true").unwrap();
+    // the AST type is exported for tooling
+    let rendered = p.to_string();
+    assert!(rendered.contains("marked"));
+    let _: fn(&Expr) = |_| {};
+}

@@ -1,0 +1,487 @@
+//! The pre-built NCL-D dual-rail component library (§III-A).
+//!
+//! Dual-rail encoding: a bit is a pair of wires `(t, f)`; `NULL = (0,0)`,
+//! `DATA1 = (1,0)`, `DATA0 = (0,1)`; `(1,1)` is illegal. The 4-phase
+//! protocol alternates complete DATA waves with complete NULL waves;
+//! completion detectors observe when a whole bus has reached DATA (or
+//! NULL) and drive the acknowledge handshake.
+//!
+//! Two completion-detector shapes are provided, because their latency
+//! difference is the paper's §IV finding: the fabricated reconfigurable
+//! pipeline synchronised stages with a **daisy-chain** of 2-input
+//! C-elements (linear depth — 36% cycle-time overhead at 18 stages), while
+//! a **tree** (logarithmic depth, as in the static pipeline) is estimated
+//! to cost under 10%.
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// A dual-rail encoded bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrSignal {
+    /// The "true" rail.
+    pub t: NetId,
+    /// The "false" rail.
+    pub f: NetId,
+}
+
+/// A dual-rail encoded bus (LSB first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrBus(pub Vec<DrSignal>);
+
+impl DrBus {
+    /// Bus width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The bit signals.
+    #[must_use]
+    pub fn bits(&self) -> &[DrSignal] {
+        &self.0
+    }
+}
+
+/// Shape of a multi-input C-element synchroniser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStyle {
+    /// Balanced tree of C-elements with the given fan-in (≥2): depth
+    /// `⌈log_f n⌉`.
+    Tree {
+        /// Fan-in of each tree node.
+        fan_in: usize,
+    },
+    /// Linear daisy chain of 2-input C-elements: depth `n − 1`. The
+    /// structure used (regrettably, per §IV) in the fabricated
+    /// reconfigurable pipeline.
+    Chain,
+}
+
+/// Creates a primary-input dual-rail bus.
+pub fn dr_input_bus(nl: &mut Netlist, name: &str, width: usize) -> DrBus {
+    let bits = (0..width)
+        .map(|i| {
+            let t = nl.add_net(format!("{name}{i}_t"), false);
+            let f = nl.add_net(format!("{name}{i}_f"), false);
+            nl.mark_input(t);
+            nl.mark_input(f);
+            DrSignal { t, f }
+        })
+        .collect();
+    DrBus(bits)
+}
+
+/// Per-bit "has data" rails (`OR` with hysteresis — TH12), then a C-element
+/// combiner in the requested style. Output is 1 when the whole bus is DATA
+/// and 0 when it is all NULL.
+pub fn completion_detector(
+    nl: &mut Netlist,
+    prefix: &str,
+    bus: &DrBus,
+    style: CompletionStyle,
+) -> NetId {
+    let per_bit: Vec<NetId> = bus
+        .bits()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let d = nl.add_net(format!("{prefix}_d{i}"), false);
+            nl.add_cell(
+                format!("{prefix}_or{i}"),
+                GateKind::Th { threshold: 1 },
+                vec![s.t, s.f],
+                d,
+            );
+            d
+        })
+        .collect();
+    c_combine(nl, prefix, &per_bit, style)
+}
+
+/// Combines `inputs` through C-elements in the requested style; returns
+/// the single synchronised output. One input is returned unchanged.
+pub fn c_combine(
+    nl: &mut Netlist,
+    prefix: &str,
+    inputs: &[NetId],
+    style: CompletionStyle,
+) -> NetId {
+    assert!(!inputs.is_empty(), "c_combine needs inputs");
+    match style {
+        CompletionStyle::Chain => {
+            let mut acc = inputs[0];
+            for (i, &next) in inputs.iter().enumerate().skip(1) {
+                let out = nl.add_net(format!("{prefix}_ch{i}"), false);
+                nl.add_cell(format!("{prefix}_cch{i}"), GateKind::C, vec![acc, next], out);
+                acc = out;
+            }
+            acc
+        }
+        CompletionStyle::Tree { fan_in } => {
+            assert!(fan_in >= 2, "tree fan-in must be at least 2");
+            let mut layer: Vec<NetId> = inputs.to_vec();
+            let mut level = 0usize;
+            while layer.len() > 1 {
+                let mut next = Vec::new();
+                for (j, chunk) in layer.chunks(fan_in).enumerate() {
+                    if chunk.len() == 1 {
+                        next.push(chunk[0]);
+                        continue;
+                    }
+                    let out = nl.add_net(format!("{prefix}_t{level}_{j}"), false);
+                    nl.add_cell(
+                        format!("{prefix}_ct{level}_{j}"),
+                        GateKind::C,
+                        chunk.to_vec(),
+                        out,
+                    );
+                    next.push(out);
+                }
+                layer = next;
+                level += 1;
+            }
+            layer[0]
+        }
+    }
+}
+
+/// An NCL pipeline register: per rail a TH22 latch gated by the
+/// acknowledge input `ki` (1 = request for DATA, 0 = request for NULL).
+/// `init` pre-loads a DATA token with the given value at power-up.
+pub fn ncl_register(
+    nl: &mut Netlist,
+    prefix: &str,
+    input: &DrBus,
+    ki: NetId,
+    init: Option<u64>,
+) -> DrBus {
+    let bits = input
+        .bits()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (t0, f0) = match init {
+                Some(v) => {
+                    let bit = (v >> i) & 1 == 1;
+                    (bit, !bit)
+                }
+                None => (false, false),
+            };
+            let t = nl.add_net(format!("{prefix}{i}_t"), t0);
+            let f = nl.add_net(format!("{prefix}{i}_f"), f0);
+            nl.add_cell(
+                format!("{prefix}_latt{i}"),
+                GateKind::Th { threshold: 2 },
+                vec![s.t, ki],
+                t,
+            );
+            nl.add_cell(
+                format!("{prefix}_latf{i}"),
+                GateKind::Th { threshold: 2 },
+                vec![s.f, ki],
+                f,
+            );
+            DrSignal { t, f }
+        })
+        .collect();
+    DrBus(bits)
+}
+
+/// Dual-rail AND.
+pub fn dr_and(nl: &mut Netlist, prefix: &str, a: DrSignal, b: DrSignal) -> DrSignal {
+    let t = nl.add_net(format!("{prefix}_t"), false);
+    let f = nl.add_net(format!("{prefix}_f"), false);
+    nl.add_cell(
+        format!("{prefix}_gt"),
+        GateKind::Th { threshold: 2 },
+        vec![a.t, b.t],
+        t,
+    );
+    nl.add_cell(
+        format!("{prefix}_gf"),
+        GateKind::Th { threshold: 1 },
+        vec![a.f, b.f],
+        f,
+    );
+    DrSignal { t, f }
+}
+
+/// Dual-rail OR.
+pub fn dr_or(nl: &mut Netlist, prefix: &str, a: DrSignal, b: DrSignal) -> DrSignal {
+    let t = nl.add_net(format!("{prefix}_t"), false);
+    let f = nl.add_net(format!("{prefix}_f"), false);
+    nl.add_cell(
+        format!("{prefix}_gt"),
+        GateKind::Th { threshold: 1 },
+        vec![a.t, b.t],
+        t,
+    );
+    nl.add_cell(
+        format!("{prefix}_gf"),
+        GateKind::Th { threshold: 2 },
+        vec![a.f, b.f],
+        f,
+    );
+    DrSignal { t, f }
+}
+
+/// Dual-rail NOT: swap rails (wire-only).
+#[must_use]
+pub fn dr_not(a: DrSignal) -> DrSignal {
+    DrSignal { t: a.f, f: a.t }
+}
+
+/// Dual-rail XOR (two-level TH network).
+pub fn dr_xor(nl: &mut Netlist, prefix: &str, a: DrSignal, b: DrSignal) -> DrSignal {
+    let w1 = nl.add_net(format!("{prefix}_w1"), false);
+    let w2 = nl.add_net(format!("{prefix}_w2"), false);
+    let w3 = nl.add_net(format!("{prefix}_w3"), false);
+    let w4 = nl.add_net(format!("{prefix}_w4"), false);
+    nl.add_cell(
+        format!("{prefix}_g1"),
+        GateKind::Th { threshold: 2 },
+        vec![a.t, b.f],
+        w1,
+    );
+    nl.add_cell(
+        format!("{prefix}_g2"),
+        GateKind::Th { threshold: 2 },
+        vec![a.f, b.t],
+        w2,
+    );
+    nl.add_cell(
+        format!("{prefix}_g3"),
+        GateKind::Th { threshold: 2 },
+        vec![a.t, b.t],
+        w3,
+    );
+    nl.add_cell(
+        format!("{prefix}_g4"),
+        GateKind::Th { threshold: 2 },
+        vec![a.f, b.f],
+        w4,
+    );
+    let t = nl.add_net(format!("{prefix}_t"), false);
+    let f = nl.add_net(format!("{prefix}_f"), false);
+    nl.add_cell(
+        format!("{prefix}_gt"),
+        GateKind::Th { threshold: 1 },
+        vec![w1, w2],
+        t,
+    );
+    nl.add_cell(
+        format!("{prefix}_gf"),
+        GateKind::Th { threshold: 1 },
+        vec![w3, w4],
+        f,
+    );
+    DrSignal { t, f }
+}
+
+/// A dual-rail full adder (sum via XORs, carry via TH23 majority gates —
+/// the canonical NCL construction).
+pub fn dr_full_adder(
+    nl: &mut Netlist,
+    prefix: &str,
+    a: DrSignal,
+    b: DrSignal,
+    cin: DrSignal,
+) -> (DrSignal, DrSignal) {
+    let cout_t = nl.add_net(format!("{prefix}_cout_t"), false);
+    let cout_f = nl.add_net(format!("{prefix}_cout_f"), false);
+    nl.add_cell(
+        format!("{prefix}_maj_t"),
+        GateKind::Th { threshold: 2 },
+        vec![a.t, b.t, cin.t],
+        cout_t,
+    );
+    nl.add_cell(
+        format!("{prefix}_maj_f"),
+        GateKind::Th { threshold: 2 },
+        vec![a.f, b.f, cin.f],
+        cout_f,
+    );
+    let ab = dr_xor(nl, &format!("{prefix}_x1"), a, b);
+    let sum = dr_xor(nl, &format!("{prefix}_x2"), ab, cin);
+    (
+        sum,
+        DrSignal {
+            t: cout_t,
+            f: cout_f,
+        },
+    )
+}
+
+/// An `n`-bit ripple-carry adder. With `cin = None` the first bit uses a
+/// half adder — the correct NCL idiom: a *tied* constant carry would never
+/// return to NULL and would wedge the hysteretic carry chain (see
+/// [`dr_const`]). Returns (sum bus, carry out).
+pub fn ripple_adder(
+    nl: &mut Netlist,
+    prefix: &str,
+    a: &DrBus,
+    b: &DrBus,
+    cin: Option<DrSignal>,
+) -> (DrBus, DrSignal) {
+    assert_eq!(a.width(), b.width(), "adder operand widths differ");
+    let mut bits = Vec::with_capacity(a.width());
+    let mut carry = match cin {
+        Some(c) => {
+            let (s, c) = dr_full_adder(nl, &format!("{prefix}_fa0"), a.0[0], b.0[0], c);
+            bits.push(s);
+            c
+        }
+        None => {
+            // half adder: sum = a XOR b, carry = a AND b
+            let s = dr_xor(nl, &format!("{prefix}_ha0s"), a.0[0], b.0[0]);
+            let c = dr_and(nl, &format!("{prefix}_ha0c"), a.0[0], b.0[0]);
+            bits.push(s);
+            c
+        }
+    };
+    for i in 1..a.width() {
+        let (s, c) = dr_full_adder(nl, &format!("{prefix}_fa{i}"), a.0[i], b.0[i], carry);
+        bits.push(s);
+        carry = c;
+    }
+    (DrBus(bits), carry)
+}
+
+/// Adds a single dual-rail bit to an `n`-bit bus (the OPE rank
+/// accumulation step): `out = a + bit`. Built from half adders, so every
+/// gate returns to NULL with the wave.
+pub fn ripple_add_bit(nl: &mut Netlist, prefix: &str, a: &DrBus, bit: DrSignal) -> DrBus {
+    let mut carry = bit;
+    let bits = a
+        .bits()
+        .iter()
+        .enumerate()
+        .map(|(i, &ai)| {
+            let s = dr_xor(nl, &format!("{prefix}_s{i}"), ai, carry);
+            carry = dr_and(nl, &format!("{prefix}_c{i}"), ai, carry);
+            s
+        })
+        .collect();
+    DrBus(bits)
+}
+
+/// A dual-rail bit that is DATA0 exactly while `tracker` carries data and
+/// NULL otherwise — the protocol-correct way to zero-extend a bus (a tied
+/// constant would never see the NULL wave).
+pub fn dr_pad_zero(nl: &mut Netlist, prefix: &str, tracker: DrSignal) -> DrSignal {
+    let t = nl.add_net(format!("{prefix}_t"), false);
+    let f = nl.add_net(format!("{prefix}_f"), false);
+    nl.add_cell(format!("{prefix}_tie"), GateKind::TieLow, vec![], t);
+    nl.add_cell(
+        format!("{prefix}_trk"),
+        GateKind::Th { threshold: 1 },
+        vec![tracker.t, tracker.f],
+        f,
+    );
+    DrSignal { t, f }
+}
+
+/// A dual-rail constant bit driven by tie cells. **A constant is always
+/// DATA and never returns to NULL** — feeding it into hysteretic gates
+/// (TH/C) wedges their reset and breaks the 4-phase protocol. Use
+/// [`dr_pad_zero`] for zero-extension and `cin = None` on the adder
+/// instead; `dr_const` remains only for single-wave combinational
+/// harnesses.
+pub fn dr_const(nl: &mut Netlist, prefix: &str, value: bool) -> DrSignal {
+    let t = nl.add_net(format!("{prefix}_t"), value);
+    let f = nl.add_net(format!("{prefix}_f"), !value);
+    nl.add_cell(
+        format!("{prefix}_tiet"),
+        if value {
+            GateKind::TieHigh
+        } else {
+            GateKind::TieLow
+        },
+        vec![],
+        t,
+    );
+    nl.add_cell(
+        format!("{prefix}_tief"),
+        if value {
+            GateKind::TieLow
+        } else {
+            GateKind::TieHigh
+        },
+        vec![],
+        f,
+    );
+    DrSignal { t, f }
+}
+
+/// An `n`-bit magnitude comparator: returns the dual-rail bit `a > b`.
+///
+/// Classic MSB-first recurrence: `gt_i = (a_i > b_i) | (a_i == b_i) & gt_{i-1}`.
+pub fn comparator_gt(nl: &mut Netlist, prefix: &str, a: &DrBus, b: &DrBus) -> DrSignal {
+    assert_eq!(a.width(), b.width(), "comparator operand widths differ");
+    // start from LSB: gt = a0 & !b0
+    let mut gt = dr_and(nl, &format!("{prefix}_g0"), a.0[0], dr_not(b.0[0]));
+    for i in 1..a.width() {
+        // bit_gt = a_i & !b_i ; bit_eq = !(a_i ^ b_i)
+        let bit_gt = dr_and(nl, &format!("{prefix}_bg{i}"), a.0[i], dr_not(b.0[i]));
+        let x = dr_xor(nl, &format!("{prefix}_bx{i}"), a.0[i], b.0[i]);
+        let keep = dr_and(nl, &format!("{prefix}_bk{i}"), dr_not(x), gt);
+        gt = dr_or(nl, &format!("{prefix}_go{i}"), bit_gt, keep);
+    }
+    gt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn completion_styles_have_expected_depth() {
+        let mut nl = Netlist::new();
+        let bus = dr_input_bus(&mut nl, "x", 8);
+        let before = nl.cell_count();
+        let _ = completion_detector(&mut nl, "tree", &bus, CompletionStyle::Tree { fan_in: 2 });
+        let tree_cells = nl.cell_count() - before;
+        let before = nl.cell_count();
+        let _ = completion_detector(&mut nl, "chain", &bus, CompletionStyle::Chain);
+        let chain_cells = nl.cell_count() - before;
+        // same C-element count (n-1) either way, plus 8 per-bit ORs each
+        assert_eq!(tree_cells, 8 + 7);
+        assert_eq!(chain_cells, 8 + 7);
+    }
+
+    #[test]
+    fn c_combine_single_input_is_identity() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a", false);
+        let out = c_combine(&mut nl, "c", &[a], CompletionStyle::Chain);
+        assert_eq!(out, a);
+        assert_eq!(nl.cell_count(), 0);
+    }
+
+    #[test]
+    fn register_initialisation_encodes_value() {
+        let mut nl = Netlist::new();
+        let input = dr_input_bus(&mut nl, "in", 4);
+        let ki = nl.add_net("ki", true);
+        let reg = ncl_register(&mut nl, "r", &input, ki, Some(0b1010));
+        // bit0 = 0 -> f rail high; bit1 = 1 -> t rail high
+        assert!(!nl.net(reg.0[0].t).initial && nl.net(reg.0[0].f).initial);
+        assert!(nl.net(reg.0[1].t).initial && !nl.net(reg.0[1].f).initial);
+        assert_eq!(reg.width(), 4);
+    }
+
+    #[test]
+    fn structural_counts() {
+        let mut nl = Netlist::new();
+        let a = dr_input_bus(&mut nl, "a", 4);
+        let b = dr_input_bus(&mut nl, "b", 4);
+        let before = nl.cell_count();
+        let (sum, _cout) = ripple_adder(&mut nl, "add", &a, &b, None);
+        assert_eq!(sum.width(), 4);
+        assert!(nl.cell_count() > before + 4 * 5, "adder is not trivial");
+        let gt = comparator_gt(&mut nl, "cmp", &a, &b);
+        assert_ne!(gt.t, gt.f);
+    }
+}

@@ -1,0 +1,42 @@
+//! NCL-D dual-rail asynchronous circuit backend.
+//!
+//! The paper's DFS models are "translated into a circuit implementation
+//! netlist using a library of pre-built NCL-D style asynchronous dual-rail
+//! components (comparator, adder, and a set of registers) that rely on
+//! \[the\] 4-phase communication protocol" (§III-A), fabricated in TSMC 90nm,
+//! and measured over 0.3–1.6 V (§IV). This crate provides the equivalent
+//! software substrate:
+//!
+//! * [`gate`] — NULL Convention Logic threshold gates (`THmn`, with
+//!   hysteresis), C-elements and ordinary Boolean gates;
+//! * [`netlist`] — flat gate-level netlists;
+//! * [`components`] — the pre-built dual-rail library: completion
+//!   detectors, NCL pipeline registers, a ripple-carry adder and a
+//!   comparator;
+//! * [`verilog`] — structural Verilog export (plus behavioural models of
+//!   the primitives), the hand-off point to a conventional backend flow;
+//! * [`sim`] — an event-driven gate-level simulator whose per-gate delay
+//!   follows an **alpha-power-law voltage model** with a freeze threshold,
+//!   and which integrates switching and leakage **energy** — the software
+//!   stand-in for the fabricated chip, the Virtex-7 testbench and the
+//!   Keithley source meter;
+//! * [`delay`] / [`power`] — the voltage/delay/energy models and
+//!   time-varying supply profiles (for the Fig. 9b experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod delay;
+pub mod gate;
+pub mod map;
+pub mod netlist;
+pub mod power;
+pub mod sim;
+pub mod verilog;
+
+pub use delay::{DelayModel, VoltageProfile};
+pub use gate::GateKind;
+pub use netlist::{CellId, NetId, Netlist};
+pub use power::EnergyModel;
+pub use sim::{SimConfig, Simulator};

@@ -1,0 +1,548 @@
+//! Direct mapping of DFS models onto the NCL-D component library (§II-D).
+//!
+//! "A verified and optimised DFS model can be automatically translated into
+//! an asynchronous circuit netlist by directly mapping its nodes into
+//! pre-built components and connecting them according to the dataflow
+//! arcs." Each DFS register becomes an NCL pipeline register with a
+//! completion detector; each logic node becomes a dual-rail function block
+//! (chosen per node through [`MapConfig::functions`]); acknowledge signals
+//! are derived from downstream completion through an inverter, with
+//! multi-successor synchronisation in a configurable C-element style —
+//! the **chain vs tree** choice whose latency difference the paper measured
+//! in silicon (§IV).
+//!
+//! Scope: the gate-level mapping covers the *static* subset (registers and
+//! logic); dynamic registers are accepted in their included (true)
+//! configuration and mapped as plain registers. The run-time
+//! reconfiguration fabric of the fabricated chip is modelled at stage level
+//! by `rap-ope::silicon_model` — simulating 16M-item runs at gate level is
+//! infeasible for the chip and unnecessary for the §IV claims, which hinge
+//! on the completion-structure latency this mapping does expose.
+
+use crate::components::{
+    c_combine, completion_detector, dr_and, dr_input_bus, dr_not, dr_or, dr_xor,
+    ripple_adder, CompletionStyle, DrBus, DrSignal,
+};
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+use dfs_core::{Dfs, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// The dual-rail function block implementing a DFS logic node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockFunction {
+    /// Pass the (single) operand through.
+    #[default]
+    Buffer,
+    /// Bitwise complement of the single operand (rail swap — free).
+    BitwiseNot,
+    /// Bitwise AND of all operands.
+    BitwiseAnd,
+    /// Bitwise OR of all operands.
+    BitwiseOr,
+    /// Bitwise XOR of all operands.
+    BitwiseXor,
+    /// Two-operand ripple-carry addition (carry-in 0, truncated).
+    Add,
+    /// Two-operand `a > b` comparison, zero-extended to the bus width.
+    CompareGt,
+}
+
+/// Mapping options.
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    /// Datapath width in bits.
+    pub width: usize,
+    /// Completion-synchronisation style (the §IV chain/tree choice).
+    pub completion: CompletionStyle,
+    /// Function block per logic-node name (default [`BlockFunction::Buffer`]
+    /// for single-operand nodes, [`BlockFunction::BitwiseXor`] otherwise).
+    pub functions: HashMap<String, BlockFunction>,
+    /// Initial token value per marked-register name (default 0).
+    pub initial_values: HashMap<String, u64>,
+}
+
+impl MapConfig {
+    /// A config with the given width, tree completion and defaults
+    /// everywhere else.
+    #[must_use]
+    pub fn with_width(width: usize) -> Self {
+        MapConfig {
+            width,
+            completion: CompletionStyle::Tree { fan_in: 2 },
+            functions: HashMap::new(),
+            initial_values: HashMap::new(),
+        }
+    }
+}
+
+/// The mapped circuit with look-up tables back to the DFS model.
+#[derive(Debug, Clone)]
+pub struct MappedCircuit {
+    /// The flat netlist.
+    pub netlist: Netlist,
+    /// Per register name: its output bus.
+    pub register_outputs: HashMap<String, DrBus>,
+    /// Per register name: its completion-detector output.
+    pub completions: HashMap<String, NetId>,
+    /// Per register name: its acknowledge (`ki`) input net.
+    pub acks: HashMap<String, NetId>,
+}
+
+/// Mapping errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// A dynamic register initialised to `False` cannot be mapped — the
+    /// gate-level mapping covers included configurations only.
+    ExcludedDynamicNode(String),
+    /// A register has more than one direct data source.
+    MultipleDrivers(String),
+    /// A function block got the wrong operand count.
+    BadOperandCount {
+        /// The logic node.
+        node: String,
+        /// Operands found.
+        got: usize,
+    },
+    /// A register has no data source and is not a primary input.
+    NoSource(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::ExcludedDynamicNode(n) => write!(
+                f,
+                "dynamic node `{n}` is excluded (False): map a configured model"
+            ),
+            MapError::MultipleDrivers(n) => write!(f, "register `{n}` has multiple data sources"),
+            MapError::BadOperandCount { node, got } => {
+                write!(f, "logic `{node}` got {got} operands")
+            }
+            MapError::NoSource(n) => write!(f, "register `{n}` has no data source"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+/// Maps `dfs` to a gate-level NCL netlist.
+///
+/// # Errors
+///
+/// See [`MapError`].
+pub fn map_dfs(dfs: &Dfs, config: &MapConfig) -> Result<MappedCircuit, MapError> {
+    let mut nl = Netlist::new();
+    let w = config.width;
+
+    // pass 1: create register output nets (latch cells come later, once
+    // their input cones exist)
+    let mut reg_out: HashMap<NodeId, DrBus> = HashMap::new();
+    for r in dfs.registers() {
+        let node = dfs.node(r);
+        if node.kind.is_dynamic() && node.initial.value() == Some(dfs_core::TokenValue::False) {
+            return Err(MapError::ExcludedDynamicNode(node.name.clone()));
+        }
+        let init = node.initial.is_marked().then(|| {
+            config
+                .initial_values
+                .get(&node.name)
+                .copied()
+                .unwrap_or(0)
+        });
+        let bits = (0..w)
+            .map(|i| {
+                let (t0, f0) = match init {
+                    Some(v) => {
+                        let bit = (v >> i) & 1 == 1;
+                        (bit, !bit)
+                    }
+                    None => (false, false),
+                };
+                DrSignal {
+                    t: nl.add_net(format!("{}_q{i}_t", node.name), t0),
+                    f: nl.add_net(format!("{}_q{i}_f", node.name), f0),
+                }
+            })
+            .collect();
+        reg_out.insert(r, DrBus(bits));
+    }
+
+    // pass 2: build logic cones (memoised per logic node)
+    let mut cone: HashMap<NodeId, DrBus> = HashMap::new();
+    let order = topo_logic_order(dfs);
+    for l in order {
+        let operands: Vec<DrBus> = dfs
+            .preds(l)
+            .iter()
+            .map(|e| {
+                if dfs.kind(e.node) == NodeKind::Logic {
+                    cone[&e.node].clone()
+                } else {
+                    reg_out[&e.node].clone()
+                }
+            })
+            .collect();
+        let name = dfs.node(l).name.clone();
+        let func = config
+            .functions
+            .get(&name)
+            .copied()
+            .unwrap_or(if operands.len() == 1 {
+                BlockFunction::Buffer
+            } else {
+                BlockFunction::BitwiseXor
+            });
+        let bus = build_block(&mut nl, &name, func, &operands, w)
+            .map_err(|got| MapError::BadOperandCount { node: name, got })?;
+        cone.insert(l, bus);
+    }
+
+    // pass 3: register latches, completion detectors, acknowledges
+    let mut completions: HashMap<String, NetId> = HashMap::new();
+    let mut acks: HashMap<String, NetId> = HashMap::new();
+    for r in dfs.registers() {
+        let node = dfs.node(r);
+        // data source: the unique pred (logic cone or register)
+        let data_preds: Vec<&dfs_core::EdgeRef> = dfs.preds(r).iter().collect();
+        let source: Option<DrBus> = match data_preds.len() {
+            0 => None,
+            1 => {
+                let p = data_preds[0].node;
+                Some(if dfs.kind(p) == NodeKind::Logic {
+                    cone[&p].clone()
+                } else {
+                    reg_out[&p].clone()
+                })
+            }
+            _ => return Err(MapError::MultipleDrivers(node.name.clone())),
+        };
+        let input_bus = match source {
+            Some(bus) => bus,
+            None => {
+                // primary input register: expose ports
+                dr_input_bus(&mut nl, &format!("{}_d", node.name), w)
+            }
+        };
+        let ki = nl.add_net(format!("{}_ki", node.name), false);
+        acks.insert(node.name.clone(), ki);
+        // latches driving the pre-created output nets
+        let out = &reg_out[&r];
+        for (i, (s_in, s_out)) in input_bus.bits().iter().zip(out.bits()).enumerate() {
+            nl.add_cell(
+                format!("{}_latt{i}", node.name),
+                GateKind::Th { threshold: 2 },
+                vec![s_in.t, ki],
+                s_out.t,
+            );
+            nl.add_cell(
+                format!("{}_latf{i}", node.name),
+                GateKind::Th { threshold: 2 },
+                vec![s_in.f, ki],
+                s_out.f,
+            );
+        }
+        let done = completion_detector(&mut nl, &format!("{}_cd", node.name), out, config.completion);
+        completions.insert(node.name.clone(), done);
+    }
+
+    // pass 4: wire acknowledges: ki(r) = INV(sync of downstream completions)
+    for r in dfs.registers() {
+        let node = dfs.node(r);
+        let downstream: Vec<NetId> = dfs
+            .r_postset(r)
+            .iter()
+            .map(|q| completions[&dfs.node(q.node).name])
+            .collect();
+        let ki = acks[&node.name];
+        if downstream.is_empty() {
+            // sink register: self-acknowledge so the output drains
+            let own = completions[&node.name];
+            nl.add_cell(format!("{}_ackinv", node.name), GateKind::Not, vec![own], ki);
+        } else {
+            let sync = c_combine(
+                &mut nl,
+                &format!("{}_acks", node.name),
+                &downstream,
+                config.completion,
+            );
+            nl.add_cell(format!("{}_ackinv", node.name), GateKind::Not, vec![sync], ki);
+        }
+    }
+
+    // pass 5: settle a consistent power-up valuation. Register output
+    // rails are state (TH latches hold them); every other net's initial
+    // value is the combinational fixpoint — otherwise the acknowledge
+    // network starts inconsistent and the DATA wave can outrun it at
+    // start-up, violating the 4-phase protocol (a real chip has a reset
+    // network doing exactly this job).
+    let frozen: std::collections::HashSet<NetId> = reg_out
+        .values()
+        .flat_map(|bus| bus.bits().iter().flat_map(|s| [s.t, s.f]))
+        .collect();
+    settle_initial_values(&mut nl, &frozen);
+
+    let register_outputs = reg_out
+        .into_iter()
+        .map(|(r, bus)| (dfs.node(r).name.clone(), bus))
+        .collect();
+    Ok(MappedCircuit {
+        netlist: nl,
+        register_outputs,
+        completions,
+        acks,
+    })
+}
+
+/// Iterates gate evaluation to a fixpoint over the power-up values,
+/// leaving `frozen` (state-holding) nets untouched.
+fn settle_initial_values(nl: &mut Netlist, frozen: &std::collections::HashSet<NetId>) {
+    let mut values: Vec<bool> = (0..nl.net_count())
+        .map(|i| nl.net(NetId::from_index(i)).initial)
+        .collect();
+    let cells: Vec<(GateKind, Vec<NetId>, NetId)> = nl
+        .cells()
+        .iter()
+        .map(|c| (c.kind, c.inputs.clone(), c.output))
+        .collect();
+    for _ in 0..cells.len() + 1 {
+        let mut changed = false;
+        for (kind, inputs, output) in &cells {
+            if frozen.contains(output) {
+                continue;
+            }
+            let ins: Vec<bool> = inputs.iter().map(|n| values[n.index()]).collect();
+            let next = kind.eval(&ins, values[output.index()]);
+            if next != values[output.index()] {
+                values[output.index()] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for i in 0..nl.net_count() {
+        nl.nets[i].initial = values[i];
+    }
+}
+
+/// Logic nodes in dependency order (combinational cycles were rejected by
+/// `Dfs::validate`).
+fn topo_logic_order(dfs: &Dfs) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut visited: HashMap<NodeId, bool> = HashMap::new();
+    fn visit(
+        dfs: &Dfs,
+        l: NodeId,
+        visited: &mut HashMap<NodeId, bool>,
+        order: &mut Vec<NodeId>,
+    ) {
+        if visited.contains_key(&l) {
+            return;
+        }
+        visited.insert(l, true);
+        for e in dfs.preds(l) {
+            if dfs.kind(e.node) == NodeKind::Logic {
+                visit(dfs, e.node, visited, order);
+            }
+        }
+        order.push(l);
+    }
+    for l in dfs.logic_nodes() {
+        visit(dfs, l, &mut visited, &mut order);
+    }
+    order
+}
+
+fn build_block(
+    nl: &mut Netlist,
+    name: &str,
+    func: BlockFunction,
+    operands: &[DrBus],
+    width: usize,
+) -> Result<DrBus, usize> {
+    match func {
+        BlockFunction::Buffer => {
+            if operands.len() != 1 {
+                return Err(operands.len());
+            }
+            Ok(operands[0].clone())
+        }
+        BlockFunction::BitwiseNot => {
+            if operands.len() != 1 {
+                return Err(operands.len());
+            }
+            Ok(DrBus(
+                operands[0].bits().iter().map(|&s| dr_not(s)).collect(),
+            ))
+        }
+        BlockFunction::BitwiseAnd | BlockFunction::BitwiseOr | BlockFunction::BitwiseXor => {
+            if operands.len() < 2 {
+                return Err(operands.len());
+            }
+            let mut acc = operands[0].clone();
+            for (oi, op) in operands.iter().enumerate().skip(1) {
+                let bits = acc
+                    .bits()
+                    .iter()
+                    .zip(op.bits())
+                    .enumerate()
+                    .map(|(i, (&a, &b))| {
+                        let p = format!("{name}_f{oi}_{i}");
+                        match func {
+                            BlockFunction::BitwiseAnd => dr_and(nl, &p, a, b),
+                            BlockFunction::BitwiseOr => dr_or(nl, &p, a, b),
+                            _ => dr_xor(nl, &p, a, b),
+                        }
+                    })
+                    .collect();
+                acc = DrBus(bits);
+            }
+            Ok(acc)
+        }
+        BlockFunction::Add => {
+            if operands.len() != 2 {
+                return Err(operands.len());
+            }
+            let (sum, _c) = ripple_adder(nl, name, &operands[0], &operands[1], None);
+            Ok(sum)
+        }
+        BlockFunction::CompareGt => {
+            if operands.len() != 2 {
+                return Err(operands.len());
+            }
+            let gt = crate::components::comparator_gt(nl, name, &operands[0], &operands[1]);
+            // zero-extend with wave-tracking pads (constants would never
+            // return to NULL)
+            let mut bits = vec![gt];
+            for i in 1..width {
+                bits.push(crate::components::dr_pad_zero(
+                    nl,
+                    &format!("{name}_z{i}"),
+                    gt,
+                ));
+            }
+            Ok(DrBus(bits))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulator};
+    use dfs_core::DfsBuilder;
+
+    /// A 3-register DFS ring mapped to gates must oscillate.
+    #[test]
+    fn mapped_ring_oscillates() {
+        let mut b = DfsBuilder::new();
+        let r0 = b.register("r0").marked().build();
+        let r1 = b.register("r1").build();
+        let r2 = b.register("r2").build();
+        b.connect(r0, r1);
+        b.connect(r1, r2);
+        b.connect(r2, r0);
+        let dfs = b.finish().unwrap();
+        let mut cfg = MapConfig::with_width(4);
+        cfg.initial_values.insert("r0".into(), 0b1010);
+        let mapped = map_dfs(&dfs, &cfg).unwrap();
+        let mut sim = Simulator::new(&mapped.netlist, SimConfig::default());
+        let r1_done = mapped.completions["r1"];
+        let r2_done = mapped.completions["r2"];
+        // the data token must reach r1, then r2
+        assert!(sim.wait_net(r1_done, true, 100_000), "token reached r1");
+        assert_eq!(sim.bus_value(&mapped.register_outputs["r1"]), Some(0b1010));
+        assert!(sim.wait_net(r2_done, true, 100_000), "token reached r2");
+        // and keep cycling: r1 sees DATA again (next revolution)
+        assert!(sim.wait_net(r1_done, false, 100_000), "r1 went NULL");
+        assert!(sim.wait_net(r1_done, true, 200_000), "r1 saw DATA again");
+    }
+
+    /// in -> add(a,b) -> out computes a dual-rail sum at gate level.
+    #[test]
+    fn mapped_adder_computes() {
+        let mut b = DfsBuilder::new();
+        let a = b.register("a").build();
+        let c = b.register("c").build();
+        let add = b.logic("add").build();
+        let out = b.register("out").build();
+        b.connect(a, add);
+        b.connect(c, add);
+        b.connect(add, out);
+        let dfs = b.finish().unwrap();
+        let mut cfg = MapConfig::with_width(8);
+        cfg.functions.insert("add".into(), BlockFunction::Add);
+        let mapped = map_dfs(&dfs, &cfg).unwrap();
+        let mut sim = Simulator::new(&mapped.netlist, SimConfig::default());
+        sim.run_until_quiet(100_000);
+        // drive the primary-input registers' data ports
+        let a_d = port_bus(&mapped.netlist, "a_d", 8);
+        let b_d = port_bus(&mapped.netlist, "c_d", 8);
+        sim.set_bus(&a_d, 23);
+        sim.set_bus(&b_d, 42);
+        let out_bus = &mapped.register_outputs["out"];
+        let got = sim.wait_bus_data(out_bus, 1_000_000);
+        assert_eq!(got, Some(65));
+    }
+
+    /// Chain completion is slower than tree completion on a wide bus.
+    #[test]
+    fn chain_completion_is_slower_than_tree() {
+        let cycle_time = |style: CompletionStyle| -> f64 {
+            let mut b = DfsBuilder::new();
+            let r0 = b.register("r0").marked().build();
+            let r1 = b.register("r1").build();
+            let r2 = b.register("r2").build();
+            b.connect(r0, r1);
+            b.connect(r1, r2);
+            b.connect(r2, r0);
+            let dfs = b.finish().unwrap();
+            let mut cfg = MapConfig::with_width(16);
+            cfg.completion = style;
+            let mapped = map_dfs(&dfs, &cfg).unwrap();
+            let mut sim = Simulator::new(&mapped.netlist, SimConfig::default());
+            let done = mapped.completions["r0"];
+            // measure several revolutions at r0
+            let mut times = Vec::new();
+            for _ in 0..6 {
+                assert!(sim.wait_net(done, false, 2_000_000));
+                assert!(sim.wait_net(done, true, 2_000_000));
+                times.push(sim.time());
+            }
+            (times[5] - times[1]) / 4.0
+        };
+        let tree = cycle_time(CompletionStyle::Tree { fan_in: 2 });
+        let chain = cycle_time(CompletionStyle::Chain);
+        assert!(
+            chain > tree * 1.2,
+            "chain {chain} should be noticeably slower than tree {tree}"
+        );
+    }
+
+    #[test]
+    fn excluded_dynamic_nodes_are_rejected() {
+        use dfs_core::TokenValue;
+        let mut b = DfsBuilder::new();
+        let c = b.control("c").marked_with(TokenValue::False).build();
+        let r = b.register("r").build();
+        b.connect(c, r);
+        let dfs = b.finish().unwrap();
+        let err = map_dfs(&dfs, &MapConfig::with_width(4)).unwrap_err();
+        assert!(matches!(err, MapError::ExcludedDynamicNode(_)));
+    }
+
+    fn port_bus(nl: &Netlist, prefix: &str, width: usize) -> DrBus {
+        DrBus(
+            (0..width)
+                .map(|i| DrSignal {
+                    t: nl.net_by_name(&format!("{prefix}{i}_t")).unwrap(),
+                    f: nl.net_by_name(&format!("{prefix}{i}_f")).unwrap(),
+                })
+                .collect(),
+        )
+    }
+}

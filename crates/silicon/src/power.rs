@@ -1,0 +1,128 @@
+//! Energy model: dynamic (switching) and static (leakage) components.
+//!
+//! * Each output transition switches an effective capacitance proportional
+//!   to the gate's complexity: `E_switch(V) = e0 · complexity · (V/V0)²`
+//!   (the `C·V²` law).
+//! * Leakage power grows with supply roughly exponentially in the
+//!   subthreshold regime; a simple `P_leak(V) = p0 · (V/V0) · e^{(V−V0)/vk}`
+//!   fit captures the measured floor of Fig. 9b (the flat ~µW consumption
+//!   while the circuit idles at 0.5 V and below).
+//!
+//! The absolute constants are calibrated in `rap-ope` so that the static
+//! OPE pipeline at 1.2 V reproduces the paper's reference measurement
+//! (1.22 s, 2.74 mJ for 16M items).
+
+use serde::{Deserialize, Serialize};
+
+/// Energy/power model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Nominal supply (V).
+    pub v0: f64,
+    /// Energy per unit-complexity output transition at `v0` (J).
+    pub e_switch0: f64,
+    /// Leakage power of the whole circuit at `v0` (W) per unit area.
+    pub p_leak0: f64,
+    /// Exponential voltage sensitivity of leakage (V).
+    pub vk: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            v0: 1.2,
+            e_switch0: 1.0e-15, // 1 fJ per NAND-equivalent transition
+            p_leak0: 1.0e-9,    // 1 nW per NAND-equivalent of area
+            vk: 0.5,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one output transition of a gate with the given complexity
+    /// at supply `v`.
+    #[must_use]
+    pub fn switch_energy(&self, complexity: f64, v: f64) -> f64 {
+        self.e_switch0 * complexity * (v / self.v0).powi(2)
+    }
+
+    /// Leakage power of a circuit of the given total area at supply `v`.
+    #[must_use]
+    pub fn leakage_power(&self, area: f64, v: f64) -> f64 {
+        self.p_leak0 * area * (v / self.v0) * ((v - self.v0) / self.vk).exp()
+    }
+}
+
+/// A sampled power trace (for the Fig. 9b plot).
+#[derive(Debug, Clone, Default)]
+pub struct PowerTrace {
+    /// Sample instants.
+    pub time: Vec<f64>,
+    /// Average power over the preceding sampling interval (W).
+    pub power: Vec<f64>,
+    /// Supply voltage at the sample instant (V).
+    pub voltage: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Appends a sample.
+    pub fn push(&mut self, time: f64, power: f64, voltage: f64) {
+        self.time.push(time);
+        self.power.push(power);
+        self.voltage.push(voltage);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Is the trace empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// The peak power sample.
+    #[must_use]
+    pub fn peak(&self) -> Option<(f64, f64)> {
+        self.power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &p)| (self.time[i], p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switching_energy_scales_quadratically() {
+        let m = EnergyModel::default();
+        let e12 = m.switch_energy(1.0, 1.2);
+        let e06 = m.switch_energy(1.0, 0.6);
+        assert!((e12 / e06 - 4.0).abs() < 1e-9, "V² law");
+        assert!(m.switch_energy(2.0, 1.2) > m.switch_energy(1.0, 1.2));
+    }
+
+    #[test]
+    fn leakage_grows_with_voltage() {
+        let m = EnergyModel::default();
+        assert!(m.leakage_power(100.0, 1.2) > m.leakage_power(100.0, 0.5));
+        assert!(m.leakage_power(100.0, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn power_trace_peak() {
+        let mut t = PowerTrace::default();
+        assert!(t.is_empty());
+        t.push(0.0, 1.0, 0.5);
+        t.push(1.0, 5.0, 0.5);
+        t.push(2.0, 2.0, 0.4);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.peak(), Some((1.0, 5.0)));
+    }
+}

@@ -1,0 +1,616 @@
+//! Event-driven gate-level simulation with voltage-dependent timing and
+//! energy accounting.
+//!
+//! This is the software stand-in for the paper's measurement setup (§IV):
+//! the fabricated chip becomes the netlist, the adjustable bench supply
+//! becomes a [`VoltageProfile`], and the Keithley source meter becomes the
+//! integrated switching + leakage energy and the sampled [`PowerTrace`].
+//!
+//! Timing: a gate that needs to change its output schedules the transition
+//! `base_delay · complexity · factor(V)` after its inputs changed, where
+//! `factor` is the alpha-power-law scaling of [`DelayModel`]. At or below
+//! the freeze voltage no progress is made: pending transitions are parked
+//! until the supply recovers (the Fig. 9b freeze-and-resume behaviour) —
+//! hysteretic NCL gates hold their state meanwhile, which is why the
+//! computation completes *correctly* after recovery.
+
+use crate::components::DrBus;
+use crate::delay::{DelayModel, VoltageProfile};
+use crate::netlist::{NetId, Netlist};
+use crate::power::{EnergyModel, PowerTrace};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Delay of a unit-complexity gate at nominal voltage (seconds).
+    pub base_delay: f64,
+    /// Voltage→delay model.
+    pub delay: DelayModel,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Supply waveform.
+    pub supply: VoltageProfile,
+    /// If set, sample average power into a [`PowerTrace`] at this interval.
+    pub sample_interval: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            base_delay: 50e-12, // 50 ps per NAND-equivalent at 1.2 V
+            delay: DelayModel::default(),
+            energy: EnergyModel::default(),
+            supply: VoltageProfile::Constant(1.2),
+            sample_interval: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ev {
+    time: f64,
+    seq: u64,
+    net: NetId,
+    value: bool,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event-driven simulator. Borrows the netlist immutably; all dynamic
+/// state lives in the simulator.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    config: SimConfig,
+    values: Vec<bool>,
+    /// net -> indices of cells reading it
+    fanout: Vec<Vec<usize>>,
+    /// net -> driving cell index (usize::MAX = primary input / undriven)
+    driver: Vec<usize>,
+    queue: BinaryHeap<Ev>,
+    now: f64,
+    seq: u64,
+    events: u64,
+    switch_energy: f64,
+    leakage_energy: f64,
+    leak_cursor: f64,
+    area: f64,
+    trace: PowerTrace,
+    bucket_start: f64,
+    bucket_switch: f64,
+    /// set when the supply can never rise above the freeze voltage again
+    dead: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over `nl`, settles power-up values and schedules
+    /// the initial transitions.
+    #[must_use]
+    pub fn new(nl: &'a Netlist, config: SimConfig) -> Self {
+        let values: Vec<bool> = (0..nl.net_count())
+            .map(|i| nl.net(NetId::from_index(i)).initial)
+            .collect();
+        let mut fanout = vec![Vec::new(); nl.net_count()];
+        let mut driver = vec![usize::MAX; nl.net_count()];
+        for (ci, cell) in nl.cells().iter().enumerate() {
+            for &inp in &cell.inputs {
+                fanout[inp.index()].push(ci);
+            }
+            driver[cell.output.index()] = ci;
+        }
+        let area = nl.area();
+        let mut sim = Simulator {
+            nl,
+            config,
+            values,
+            fanout,
+            driver,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            events: 0,
+            switch_energy: 0.0,
+            leakage_energy: 0.0,
+            leak_cursor: 0.0,
+            area,
+            trace: PowerTrace::default(),
+            bucket_start: 0.0,
+            bucket_switch: 0.0,
+            dead: false,
+        };
+        // settle: schedule every cell whose output disagrees with its eval
+        for ci in 0..nl.cell_count() {
+            sim.schedule_cell(ci);
+        }
+        sim
+    }
+
+    /// Current simulated time (seconds).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of applied transitions so far.
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Has the supply dropped below the freeze voltage with no recovery in
+    /// the profile?
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The value of a net.
+    #[must_use]
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Total switching energy so far (J).
+    #[must_use]
+    pub fn switching_energy(&self) -> f64 {
+        self.switch_energy
+    }
+
+    /// Total leakage energy accounted so far (J) — advanced lazily; call
+    /// [`Simulator::settle_accounting`] for an up-to-the-present figure.
+    #[must_use]
+    pub fn leakage_energy(&self) -> f64 {
+        self.leakage_energy
+    }
+
+    /// Total energy (switching + leakage).
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.switch_energy + self.leakage_energy
+    }
+
+    /// Brings leakage integration and the power trace up to `self.time()`.
+    pub fn settle_accounting(&mut self) {
+        self.account_until(self.now);
+    }
+
+    /// The sampled power trace (empty unless `sample_interval` was set).
+    #[must_use]
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Drives a primary input to `value` at the current time.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        self.push_event(self.now, net, value);
+    }
+
+    /// Drives both rails of a dual-rail bus to encode `value` as a DATA
+    /// wave (or to NULL with [`Simulator::set_bus_null`]).
+    pub fn set_bus(&mut self, bus: &DrBus, value: u64) {
+        for (i, s) in bus.bits().iter().enumerate() {
+            let bit = (value >> i) & 1 == 1;
+            self.set_input(s.t, bit);
+            self.set_input(s.f, !bit);
+        }
+    }
+
+    /// Drives a dual-rail bus to all-NULL.
+    pub fn set_bus_null(&mut self, bus: &DrBus) {
+        for s in bus.bits() {
+            self.set_input(s.t, false);
+            self.set_input(s.f, false);
+        }
+    }
+
+    /// Decodes a dual-rail bus: `Some(value)` when every bit is DATA,
+    /// `None` while any bit is NULL (or on an illegal `(1,1)`).
+    #[must_use]
+    pub fn bus_value(&self, bus: &DrBus) -> Option<u64> {
+        let mut out = 0u64;
+        for (i, s) in bus.bits().iter().enumerate() {
+            match (self.value(s.t), self.value(s.f)) {
+                (true, false) => out |= 1 << i,
+                (false, true) => {}
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Is the whole bus NULL?
+    #[must_use]
+    pub fn bus_is_null(&self, bus: &DrBus) -> bool {
+        bus.bits()
+            .iter()
+            .all(|s| !self.value(s.t) && !self.value(s.f))
+    }
+
+    /// Executes events until the queue drains or `max_events` fire.
+    /// Returns `true` when the circuit quiesced.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> bool {
+        let budget = self.events.saturating_add(max_events);
+        while self.events < budget {
+            if self.step().is_none() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Executes events with `time ≤ t`, then advances the clock to `t`.
+    pub fn run_until(&mut self, t: f64) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        self.account_until(self.now);
+    }
+
+    /// Runs until `bus` decodes as complete DATA, up to `max_events`.
+    pub fn wait_bus_data(&mut self, bus: &DrBus, max_events: u64) -> Option<u64> {
+        let budget = self.events.saturating_add(max_events);
+        loop {
+            if let Some(v) = self.bus_value(bus) {
+                return Some(v);
+            }
+            if self.events >= budget || self.step().is_none() {
+                return self.bus_value(bus);
+            }
+        }
+    }
+
+    /// Runs until `net` equals `value`, up to `max_events`. Returns whether
+    /// the condition was reached.
+    pub fn wait_net(&mut self, net: NetId, value: bool, max_events: u64) -> bool {
+        let budget = self.events.saturating_add(max_events);
+        loop {
+            if self.value(net) == value {
+                return true;
+            }
+            if self.events >= budget || self.step().is_none() {
+                return self.value(net) == value;
+            }
+        }
+    }
+
+    /// Applies the next pending transition; returns its time, or `None`
+    /// when the queue is empty.
+    pub fn step(&mut self) -> Option<f64> {
+        loop {
+            let ev = self.queue.pop()?;
+            if self.values[ev.net.index()] == ev.value {
+                continue; // cancelled/duplicate transition
+            }
+            self.account_until(ev.time);
+            self.now = ev.time;
+            self.values[ev.net.index()] = ev.value;
+            self.events += 1;
+            // energy of the driving cell's output transition
+            let driver = self.driver[ev.net.index()];
+            if driver != usize::MAX {
+                let cell = &self.nl.cells()[driver];
+                let c = cell.kind.complexity(cell.inputs.len());
+                let v = self.config.supply.at(self.now);
+                let e = self.config.energy.switch_energy(c, v);
+                self.switch_energy += e;
+                self.bucket_switch += e;
+            }
+            // re-evaluate fanout
+            let fanout = self.fanout[ev.net.index()].clone();
+            for ci in fanout {
+                self.schedule_cell(ci);
+            }
+            return Some(self.now);
+        }
+    }
+
+    /// Evaluates cell `ci`; if its output should change, schedules the
+    /// transition after the voltage-scaled gate delay.
+    fn schedule_cell(&mut self, ci: usize) {
+        let cell = &self.nl.cells()[ci];
+        let inputs: Vec<bool> = cell
+            .inputs
+            .iter()
+            .map(|&n| self.values[n.index()])
+            .collect();
+        let current = self.values[cell.output.index()];
+        let next = cell.kind.eval(&inputs, current);
+        if next == current {
+            return;
+        }
+        let complexity = cell.kind.complexity(cell.inputs.len()).max(0.1);
+        let v = self.config.supply.at(self.now);
+        let (start, factor) = if self.config.delay.is_frozen(v) {
+            // park until the supply recovers
+            match self
+                .config
+                .supply
+                .next_time_above(self.config.delay.v_freeze, self.now)
+            {
+                Some(t) => (t, self.config.delay.factor(self.config.supply.at(t))),
+                None => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        } else {
+            (self.now, self.config.delay.factor(v))
+        };
+        let delay = self.config.base_delay * complexity * factor;
+        self.push_event(start + delay, cell.output, next);
+    }
+
+    fn push_event(&mut self, time: f64, net: NetId, value: bool) {
+        self.queue.push(Ev {
+            time,
+            seq: self.seq,
+            net,
+            value,
+        });
+        self.seq += 1;
+    }
+
+    /// Integrates leakage (and emits power-trace samples) up to `t`.
+    fn account_until(&mut self, t: f64) {
+        if t <= self.leak_cursor {
+            return;
+        }
+        let interval = self.config.sample_interval;
+        let mut cur = self.leak_cursor;
+        while cur < t {
+            // advance to the next sample boundary or t, whichever first
+            let next = match interval {
+                Some(dt) => (self.bucket_start + dt).min(t),
+                None => t,
+            };
+            let leak = self.leak_between(cur, next);
+            self.leakage_energy += leak;
+            self.bucket_switch += leak;
+            cur = next;
+            if let Some(dt) = interval {
+                if (cur - (self.bucket_start + dt)).abs() < dt * 1e-9 || cur >= self.bucket_start + dt {
+                    let v = self.config.supply.at(cur);
+                    self.trace.push(cur, self.bucket_switch / dt, v);
+                    self.bucket_start = cur;
+                    self.bucket_switch = 0.0;
+                }
+            }
+        }
+        self.leak_cursor = t;
+    }
+
+    /// Piecewise leakage integral over `[a, b]` under the supply profile.
+    fn leak_between(&self, a: f64, b: f64) -> f64 {
+        match &self.config.supply {
+            VoltageProfile::Constant(v) => {
+                self.config.energy.leakage_power(self.area, *v) * (b - a)
+            }
+            VoltageProfile::Steps(steps) => {
+                let mut total = 0.0;
+                let mut cur = a;
+                for &(start, _) in steps {
+                    if start <= cur || start >= b {
+                        continue;
+                    }
+                    let v = self.config.supply.at(cur);
+                    total += self.config.energy.leakage_power(self.area, v) * (start - cur);
+                    cur = start;
+                }
+                let v = self.config.supply.at(cur);
+                total += self.config.energy.leakage_power(self.area, v) * (b - cur);
+                total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{
+        completion_detector, dr_input_bus, ncl_register, CompletionStyle,
+    };
+    use crate::gate::GateKind;
+
+    #[test]
+    fn c_element_waits_for_both_inputs() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a", false);
+        let b = nl.add_net("b", false);
+        let y = nl.add_net("y", false);
+        nl.mark_input(a);
+        nl.mark_input(b);
+        nl.add_cell("c", GateKind::C, vec![a, b], y);
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.set_input(a, true);
+        assert!(sim.run_until_quiet(100));
+        assert!(!sim.value(y), "C must wait for the second input");
+        sim.set_input(b, true);
+        sim.run_until_quiet(100);
+        assert!(sim.value(y));
+        // falls only when both fall
+        sim.set_input(a, false);
+        sim.run_until_quiet(100);
+        assert!(sim.value(y), "C holds on 1 of 2");
+        sim.set_input(b, false);
+        sim.run_until_quiet(100);
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn four_phase_register_cycle() {
+        // input bus -> NCL register gated by ki; completion detector on
+        // the register output
+        let mut nl = Netlist::new();
+        let input = dr_input_bus(&mut nl, "in", 4);
+        let ki = nl.add_net("ki", true);
+        nl.mark_input(ki);
+        let reg = ncl_register(&mut nl, "r", &input, ki, None);
+        let done = completion_detector(&mut nl, "cd", &reg, CompletionStyle::Tree { fan_in: 2 });
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.run_until_quiet(1_000);
+        assert!(sim.bus_is_null(&reg));
+        assert!(!sim.value(done));
+        // DATA wave
+        sim.set_bus(&input, 0b1011);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.bus_value(&reg), Some(0b1011));
+        assert!(sim.value(done));
+        // with ki low, the register must hold through an input NULL wave…
+        sim.set_input(ki, false);
+        sim.set_bus_null(&input);
+        sim.run_until_quiet(10_000);
+        // …no: ki low *requests* NULL: the register resets once inputs are
+        // NULL and ki is low (TH22 falls when all inputs are 0)
+        assert!(sim.bus_is_null(&reg));
+        assert!(!sim.value(done));
+        // but DATA does not pass while ki is low
+        sim.set_bus(&input, 0b0110);
+        sim.run_until_quiet(10_000);
+        assert!(sim.bus_is_null(&reg), "ki low blocks new DATA");
+        sim.set_input(ki, true);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.bus_value(&reg), Some(0b0110));
+    }
+
+    #[test]
+    fn lower_voltage_is_slower_and_cheaper_per_op() {
+        let run = |v: f64| -> (f64, f64) {
+            let mut nl = Netlist::new();
+            let a = nl.add_net("a", false);
+            nl.mark_input(a);
+            // a chain of buffers
+            let mut prev = a;
+            for i in 0..32 {
+                let n = nl.add_net(format!("n{i}"), false);
+                nl.add_cell(format!("b{i}"), GateKind::Buf, vec![prev], n);
+                prev = n;
+            }
+            let mut sim = Simulator::new(
+                &nl,
+                SimConfig {
+                    supply: VoltageProfile::Constant(v),
+                    ..SimConfig::default()
+                },
+            );
+            sim.set_input(a, true);
+            sim.run_until_quiet(10_000);
+            sim.settle_accounting();
+            (sim.time(), sim.switching_energy())
+        };
+        let (t12, e12) = run(1.2);
+        let (t05, e05) = run(0.5);
+        assert!(t05 > 5.0 * t12, "0.5 V should be much slower");
+        assert!(e05 < 0.5 * e12, "switching energy scales with V²");
+    }
+
+    #[test]
+    fn freeze_parks_events_until_recovery() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a", false);
+        nl.mark_input(a);
+        let y = nl.add_net("y", false);
+        nl.add_cell("b", GateKind::Buf, vec![a], y);
+        // supply drops below freeze at t=0, recovers at t=1 ms
+        let profile = VoltageProfile::Steps(vec![(0.0, 0.3), (1e-3, 1.2)]);
+        let mut sim = Simulator::new(
+            &nl,
+            SimConfig {
+                supply: profile,
+                ..SimConfig::default()
+            },
+        );
+        sim.set_input(a, true);
+        let t = sim.step().expect("input event");
+        assert!(t <= 1e-9);
+        // the buffer transition must be parked until recovery
+        let t = sim.step().expect("buffer output");
+        assert!(t >= 1e-3, "gate fired at {t} while frozen");
+        assert!(sim.value(y));
+        assert!(!sim.is_dead());
+    }
+
+    #[test]
+    fn permanently_frozen_supply_kills_the_run() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a", false);
+        nl.mark_input(a);
+        let y = nl.add_net("y", false);
+        nl.add_cell("b", GateKind::Buf, vec![a], y);
+        let mut sim = Simulator::new(
+            &nl,
+            SimConfig {
+                supply: VoltageProfile::Constant(0.3),
+                ..SimConfig::default()
+            },
+        );
+        sim.set_input(a, true);
+        sim.run_until_quiet(100);
+        assert!(sim.is_dead());
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn leakage_accumulates_over_idle_time() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a", false);
+        nl.mark_input(a);
+        let y = nl.add_net("y", false);
+        nl.add_cell("b", GateKind::Buf, vec![a], y);
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.run_until(1e-3);
+        assert!(sim.leakage_energy() > 0.0);
+        assert_eq!(sim.switching_energy(), 0.0);
+    }
+
+    #[test]
+    fn power_trace_samples_are_emitted() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a", false);
+        nl.mark_input(a);
+        let mut prev = a;
+        for i in 0..8 {
+            let n = nl.add_net(format!("n{i}"), false);
+            nl.add_cell(format!("b{i}"), GateKind::Buf, vec![prev], n);
+            prev = n;
+        }
+        let mut sim = Simulator::new(
+            &nl,
+            SimConfig {
+                sample_interval: Some(1e-10),
+                ..SimConfig::default()
+            },
+        );
+        sim.set_input(a, true);
+        sim.run_until_quiet(1_000);
+        sim.run_until(sim.time() + 1e-9);
+        assert!(sim.trace().len() > 2);
+        assert!(sim.trace().peak().unwrap().1 > 0.0);
+    }
+}

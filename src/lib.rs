@@ -1,0 +1,56 @@
+//! **rap** — Reconfigurable Asynchronous Pipelines: from formal models to
+//! (simulated) silicon.
+//!
+//! A Rust reproduction of Sokolov, de Gennaro & Mokhov, *"Reconfigurable
+//! Asynchronous Pipelines: from Formal Models to Silicon"*, DATE 2018.
+//! This facade crate re-exports the workspace:
+//!
+//! * [`dfs`] (`dfs-core`) — the Dataflow Structures formalism: five node
+//!   kinds, executable semantics, Petri-net translation, verification,
+//!   timed simulation, max-cycle-ratio performance analysis, pipeline
+//!   builders, wagging, a DSL and DOT export;
+//! * [`petri`] (`rap-petri`) — 1-safe Petri nets with read arcs and the
+//!   explicit-state reachability backend;
+//! * [`reach`] (`rap-reach`) — the Reach-style property language;
+//! * [`silicon`] (`rap-silicon`) — NCL-D dual-rail gates, netlists,
+//!   Verilog export and a voltage-aware event-driven simulator;
+//! * [`ope`] (`rap-ope`) — the ordinal-pattern-encoding accelerator case
+//!   study and the evaluation-chip model.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rap::dfs::{DfsBuilder, Lts};
+//!
+//! // Fig. 1b in five lines: a control register guarding a push and a pop
+//! let mut b = DfsBuilder::new();
+//! let input = b.register("in").marked().build();
+//! let cond = b.logic("cond").build();
+//! let ctrl = b.control("ctrl").build();
+//! let filt = b.push("filt").build();
+//! let comp = b.register("comp").build();
+//! let out = b.pop("out").build();
+//! b.connect_chain(&[input, cond, ctrl]);
+//! b.connect(input, filt);
+//! b.connect(ctrl, filt);
+//! b.connect_chain(&[filt, comp, out]);
+//! b.connect(ctrl, out);
+//! b.connect(out, input); // environment
+//! let model = b.finish()?;
+//!
+//! let lts = Lts::explore(&model, 100_000)?;
+//! assert!(lts.deadlocks().is_empty());
+//! # Ok::<(), rap::dfs::DfsError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dfs_core as dfs;
+pub use rap_ope as ope;
+pub use rap_petri as petri;
+pub use rap_reach as reach;
+pub use rap_silicon as silicon;

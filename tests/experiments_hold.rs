@@ -1,0 +1,142 @@
+//! Regression locks on the reproduced paper results: each test pins one
+//! quantitative claim from the evaluation (see EXPERIMENTS.md). If a model
+//! change breaks a paper-level result, these fail.
+
+use rap::ope::{ChipTimingModel, PipelineKind, SyncStyle};
+use rap::silicon::VoltageProfile;
+
+const M16: u64 = 16_000_000;
+
+fn chain18() -> PipelineKind {
+    PipelineKind::Reconfigurable {
+        depth: 18,
+        sync: SyncStyle::DaisyChain,
+    }
+}
+
+#[test]
+fn fig9a_reference_point() {
+    let m = ChipTimingModel::paper_calibrated();
+    let t = m.computation_time(PipelineKind::Static, 1.2, M16);
+    let e = m.energy(PipelineKind::Static, 1.2, M16);
+    assert!((t - 1.22).abs() / 1.22 < 0.01, "paper: 1.22 s, got {t}");
+    assert!(
+        (e - 2.74e-3).abs() / 2.74e-3 < 0.03,
+        "paper: 2.74 mJ, got {e}"
+    );
+}
+
+#[test]
+fn fig9a_reconfigurability_costs() {
+    let m = ChipTimingModel::paper_calibrated();
+    let t_ref = m.computation_time(PipelineKind::Static, 1.2, M16);
+    let e_ref = m.energy(PipelineKind::Static, 1.2, M16);
+    let time_overhead = m.computation_time(chain18(), 1.2, M16) / t_ref - 1.0;
+    let energy_overhead = m.energy(chain18(), 1.2, M16) / e_ref - 1.0;
+    assert!(
+        (0.34..=0.38).contains(&time_overhead),
+        "paper: 36%, got {time_overhead}"
+    );
+    assert!(
+        (0.03..=0.08).contains(&energy_overhead),
+        "paper: 5%, got {energy_overhead}"
+    );
+    let tree = PipelineKind::Reconfigurable {
+        depth: 18,
+        sync: SyncStyle::Tree,
+    };
+    let tree_overhead = m.computation_time(tree, 1.2, M16) / t_ref - 1.0;
+    assert!(tree_overhead < 0.10, "paper: <10%, got {tree_overhead}");
+}
+
+#[test]
+fn fig9a_voltage_monotonicity() {
+    // "the lower the voltage the slower, but at the same time more
+    // energy-efficient, is the circuit" over the measured 0.5–1.6 V range
+    let m = ChipTimingModel::paper_calibrated();
+    let voltages = [0.5, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6];
+    for w in voltages.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        assert!(
+            m.computation_time(PipelineKind::Static, lo, M16)
+                > m.computation_time(PipelineKind::Static, hi, M16),
+            "slower at {lo} V than {hi} V"
+        );
+        assert!(
+            m.energy(PipelineKind::Static, lo, M16) < m.energy(PipelineKind::Static, hi, M16),
+            "cheaper at {lo} V than {hi} V"
+        );
+    }
+}
+
+#[test]
+fn depth_scaling_is_linear_with_voltage_dependent_slope() {
+    let m = ChipTimingModel::paper_calibrated();
+    let kind = |d| PipelineKind::Reconfigurable {
+        depth: d,
+        sync: SyncStyle::DaisyChain,
+    };
+    let slope_at = |v: f64| {
+        m.computation_time(kind(18), v, M16) - m.computation_time(kind(17), v, M16)
+    };
+    // linearity: constant increments
+    for v in [0.5, 1.2] {
+        let d1 = m.computation_time(kind(4), v, M16) - m.computation_time(kind(3), v, M16);
+        let d2 = slope_at(v);
+        assert!((d1 - d2).abs() < 1e-9 * d1.max(1e-12));
+    }
+    // slope inverse-proportional to supply
+    assert!(slope_at(0.5) > slope_at(0.8));
+    assert!(slope_at(0.8) > slope_at(1.2));
+    assert!(slope_at(1.2) > slope_at(1.6));
+}
+
+#[test]
+fn fig9b_freeze_and_recovery() {
+    let m = ChipTimingModel::paper_calibrated();
+    let profile = VoltageProfile::Steps(vec![(0.0, 0.5), (20.0, 0.34), (40.0, 0.5)]);
+    let items = (25.0 / m.cycle_time(chain18(), 0.5)) as u64;
+    let (trace, finished) = m.power_trace(chain18(), &profile, items, 1.0, 70.0, 0.25);
+    let finish = finished.expect("completes after recovery");
+    assert!(finish > 40.0);
+    // frozen window: leakage floor only
+    let idx = trace.time.iter().position(|&t| t > 30.0).unwrap();
+    assert!((trace.power[idx] - m.leakage_power(0.34)).abs() < 1e-12);
+    // computing at 0.5 V: at least an order of magnitude above the floor
+    let idx = trace.time.iter().position(|&t| t > 2.0).unwrap();
+    assert!(trace.power[idx] > 10.0 * m.leakage_power(0.34));
+}
+
+#[test]
+fn sec3_table_is_exact() {
+    let stream = [3u16, 1, 4, 1, 5, 9, 2, 6];
+    let got: Vec<Vec<u16>> = rap::ope::reference::windows_ranked(&stream, 6).collect();
+    assert_eq!(
+        got,
+        vec![
+            vec![3, 1, 4, 2, 5, 6],
+            vec![1, 4, 2, 5, 6, 3],
+            vec![3, 1, 4, 6, 2, 5],
+        ]
+    );
+    assert_eq!(
+        rap::ope::reference::rank_list(&[2, 0, 1, 7]),
+        vec![3, 1, 2, 4]
+    );
+}
+
+#[test]
+fn fig1_bypass_beats_always_compute_at_low_hit_rates() {
+    use rap::dfs::examples::{conditional_dfs, conditional_sdfs};
+    use rap::dfs::timed::{measure_throughput, ChoicePolicy};
+    let sdfs = conditional_sdfs(3, 5.0).unwrap();
+    let dfs = conditional_dfs(3, 5.0).unwrap();
+    let t_sdfs =
+        measure_throughput(&sdfs.dfs, sdfs.output, 10, 100, ChoicePolicy::AlwaysTrue).unwrap();
+    let t_dfs_bypass =
+        measure_throughput(&dfs.dfs, dfs.output, 10, 100, ChoicePolicy::AlwaysFalse).unwrap();
+    assert!(
+        t_dfs_bypass > 2.0 * t_sdfs,
+        "bypassing must be much faster than always computing: {t_dfs_bypass} vs {t_sdfs}"
+    );
+}
