@@ -30,9 +30,7 @@ fn bench_translation(c: &mut Criterion) {
 fn bench_timed_sim(c: &mut Criterion) {
     let p = build_pipeline(&PipelineSpec::reconfigurable_depth(6, 6)).unwrap();
     c.bench_function("timed_sim_6stage_100tokens", |b| {
-        b.iter(|| {
-            measure_throughput(&p.dfs, p.output, 5, 100, ChoicePolicy::AlwaysTrue).unwrap()
-        })
+        b.iter(|| measure_throughput(&p.dfs, p.output, 5, 100, ChoicePolicy::AlwaysTrue).unwrap())
     });
 }
 

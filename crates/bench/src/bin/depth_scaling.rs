@@ -24,7 +24,11 @@ fn main() {
         header.push(format!("E@{v}V[mJ]"));
     }
     println!("{}", row(&header, &widths));
-    for depth in (3..=18).step_by(3).chain([18]).collect::<std::collections::BTreeSet<_>>() {
+    for depth in (3..=18)
+        .step_by(3)
+        .chain([18])
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let mut cells = vec![format!("{depth}")];
         for v in voltages {
             cells.push(num(m.computation_time(kind(depth), v, ITEMS), 3));
@@ -38,8 +42,7 @@ fn main() {
     println!("\nslopes (per added stage):");
     println!("  V      dt/dstage [ms]   dE/dstage [uJ]");
     for v in voltages {
-        let dt =
-            m.computation_time(kind(18), v, ITEMS) - m.computation_time(kind(17), v, ITEMS);
+        let dt = m.computation_time(kind(18), v, ITEMS) - m.computation_time(kind(17), v, ITEMS);
         let de = m.energy(kind(18), v, ITEMS) - m.energy(kind(17), v, ITEMS);
         println!("  {v:<5} {:>14} {:>16}", num(dt * 1e3, 3), num(de * 1e6, 3));
     }

@@ -42,10 +42,7 @@ fn main() {
         let run = |dfs_model: &dfs_core::Dfs, out| {
             let cfg = TimedConfig {
                 max_events: u64::MAX,
-                choice: ChoicePolicy::Bernoulli {
-                    p_true,
-                    seed: 42,
-                },
+                choice: ChoicePolicy::Bernoulli { p_true, seed: 42 },
                 stop_after_marks: Some((out, OUT_TOKENS)),
             };
             let r = simulate_timed(dfs_model, &cfg).expect("live model");

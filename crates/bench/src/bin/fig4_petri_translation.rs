@@ -34,11 +34,9 @@ fn main() {
     let space = explore(&img.net, ExploreConfig::default()).unwrap();
     let mt = img.net.transition_by_name("Mt_ctrl+").unwrap();
     let mf = img.net.transition_by_name("Mf_ctrl+").unwrap();
-    let both = space
-        .states()
-        .find(|&s| {
-            img.net.is_enabled(mt, space.marking(s)) && img.net.is_enabled(mf, space.marking(s))
-        });
+    let both = space.states().find(|&s| {
+        img.net.is_enabled(mt, space.marking(s)) && img.net.is_enabled(mf, space.marking(s))
+    });
     println!(
         "\nMt_ctrl+ and Mf_ctrl+ simultaneously enabled in some reachable state: {}",
         both.is_some()

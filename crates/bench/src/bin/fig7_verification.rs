@@ -36,8 +36,14 @@ fn main() {
     // a stage whose two control guards disagree: True local, False global
     let mut b = DfsBuilder::new();
     let input = b.register("in").marked().build();
-    let lc = b.control("local_ctrl").marked_with(TokenValue::True).build();
-    let gc = b.control("global_ctrl").marked_with(TokenValue::False).build();
+    let lc = b
+        .control("local_ctrl")
+        .marked_with(TokenValue::True)
+        .build();
+    let gc = b
+        .control("global_ctrl")
+        .marked_with(TokenValue::False)
+        .build();
     let filt = b.push("local_in").build();
     let out = b.register("local_out").build();
     b.connect(input, filt);

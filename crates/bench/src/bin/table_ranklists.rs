@@ -24,8 +24,10 @@ fn main() {
         println!("{:<6} {:<21} {}", i + 1, tuple(window), tuple(&ranks));
     }
 
-    println!("\nfootnote: ranks of items in the list (2, 0, 1, 7) are {}",
-        tuple(&rank_list(&[2, 0, 1, 7])));
+    println!(
+        "\nfootnote: ranks of items in the list (2, 0, 1, 7) are {}",
+        tuple(&rank_list(&[2, 0, 1, 7]))
+    );
 
     // cross-check all three engines on the same stream
     let reference = rap_ope::pipeline::reference_stream(6, &stream);
@@ -44,9 +46,6 @@ fn main() {
 fn tuple(xs: &[u16]) -> String {
     format!(
         "({})",
-        xs.iter()
-            .map(u16::to_string)
-            .collect::<Vec<_>>()
-            .join(", ")
+        xs.iter().map(u16::to_string).collect::<Vec<_>>().join(", ")
     )
 }

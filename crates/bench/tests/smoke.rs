@@ -1,0 +1,45 @@
+//! Smoke tests: every experiment binary must build, run to completion and
+//! exit 0 with non-empty output. These shell out to `cargo run` so the test
+//! exercises exactly what a user typing the command gets.
+
+use std::process::Command;
+
+fn run_bin(name: &str) {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "rap-bench", "--bin", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo run --bin {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !out.stdout.is_empty(),
+        "{name} produced no output — experiment binaries must print their table/figure"
+    );
+}
+
+macro_rules! bin_smoke {
+    ($($test:ident => $bin:literal),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            run_bin($bin);
+        }
+    )+};
+}
+
+bin_smoke! {
+    smoke_depth_scaling => "depth_scaling",
+    smoke_fig1_motivating => "fig1_motivating",
+    smoke_fig4_petri_translation => "fig4_petri_translation",
+    smoke_fig5_performance => "fig5_performance",
+    smoke_fig7_verification => "fig7_verification",
+    smoke_fig8_chip => "fig8_chip",
+    smoke_fig9a_voltage_sweep => "fig9a_voltage_sweep",
+    smoke_fig9b_power_trace => "fig9b_power_trace",
+    smoke_flow_verilog => "flow_verilog",
+    smoke_table_ranklists => "table_ranklists",
+}

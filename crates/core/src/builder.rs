@@ -153,10 +153,7 @@ impl DfsBuilder {
         let mut preds: Vec<Vec<EdgeRef>> = vec![Vec::new(); count];
         let mut succs: Vec<Vec<EdgeRef>> = vec![Vec::new(); count];
         for (from, to, inverted) in self.edges {
-            let fwd = EdgeRef {
-                node: to,
-                inverted,
-            };
+            let fwd = EdgeRef { node: to, inverted };
             let bwd = EdgeRef {
                 node: from,
                 inverted,

@@ -63,9 +63,7 @@ pub fn parse(src: &str) -> Result<Dfs, DfsError> {
                         let value = match v {
                             "true" => TokenValue::True,
                             "false" => TokenValue::False,
-                            other => {
-                                return Err(err(line, &format!("bad marked value `{other}`")))
-                            }
+                            other => return Err(err(line, &format!("bad marked value `{other}`"))),
                         };
                         marking = InitialMarking::MarkedWith(value);
                     } else if let Some(v) = attr.strip_prefix("delay=") {
@@ -77,9 +75,7 @@ pub fn parse(src: &str) -> Result<Dfs, DfsError> {
                             "unanimous" => GuardMode::Unanimous,
                             "and" => GuardMode::And,
                             "or" => GuardMode::Or,
-                            other => {
-                                return Err(err(line, &format!("bad guard_mode `{other}`")))
-                            }
+                            other => return Err(err(line, &format!("bad guard_mode `{other}`"))),
                         };
                     } else {
                         return Err(err(line, &format!("unknown attribute `{attr}`")));

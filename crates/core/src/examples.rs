@@ -236,14 +236,9 @@ mod tests {
         // at hit-rate 1 the FIFO keeps comp pipelined: faster than the
         // single-control version
         let single = conditional_dfs(2, 4.0).unwrap();
-        let t_single = measure_throughput(
-            &single.dfs,
-            single.output,
-            10,
-            60,
-            ChoicePolicy::AlwaysTrue,
-        )
-        .unwrap();
+        let t_single =
+            measure_throughput(&single.dfs, single.output, 10, 60, ChoicePolicy::AlwaysTrue)
+                .unwrap();
         let t_buffered = measure_throughput(
             &buffered.dfs,
             buffered.output,

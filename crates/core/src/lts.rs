@@ -42,9 +42,7 @@ impl Lts {
     pub fn explore(dfs: &Dfs, max_states: usize) -> Result<Lts, DfsError> {
         let lts = Self::explore_truncated(dfs, max_states);
         if lts.truncated {
-            return Err(DfsError::StateBudgetExceeded {
-                budget: max_states,
-            });
+            return Err(DfsError::StateBudgetExceeded { budget: max_states });
         }
         Ok(lts)
     }

@@ -44,8 +44,7 @@ pub fn insert_buffers(dfs: &Dfs, max_buffers: usize) -> Result<OptimizeOutcome, 
 
     for round in 0..max_buffers {
         let report = analyse(&current)?;
-        let Some((edge, improved, next)) = best_buffer_on_cycle(&current, &report, round)?
-        else {
+        let Some((edge, improved, next)) = best_buffer_on_cycle(&current, &report, round)? else {
             break;
         };
         if improved <= best_throughput * (1.0 + 1e-9) {

@@ -29,11 +29,7 @@ pub fn howard_mcr(g: &EventGraph) -> Result<McrSolution, DfsError> {
     loop {
         let mut dropped = false;
         for v in 0..n {
-            if alive[v]
-                && out[v]
-                    .iter()
-                    .all(|&ai| !alive[g.arcs[ai].to])
-            {
+            if alive[v] && out[v].iter().all(|&ai| !alive[g.arcs[ai].to]) {
                 alive[v] = false;
                 dropped = true;
             }
@@ -145,14 +141,12 @@ fn evaluate_policy(
                 w += a.weight;
                 t += u64::from(a.tokens);
             }
-            if t == 0 {
-                if w > 0.0 {
-                    return Err(DfsError::TokenFreeCycle {
-                        cycle: cycle.iter().map(|u| format!("v{u}")).collect(),
-                    });
-                }
-                // zero/zero cycle: treat as ratio 0
+            if t == 0 && w > 0.0 {
+                return Err(DfsError::TokenFreeCycle {
+                    cycle: cycle.iter().map(|u| format!("v{u}")).collect(),
+                });
             }
+            // t == 0 with w <= 0 is a zero/zero cycle: treat as ratio 0
             let ratio = if t > 0 { w / t as f64 } else { 0.0 };
             for &u in cycle {
                 lambda[u] = ratio;

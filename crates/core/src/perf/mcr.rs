@@ -81,8 +81,7 @@ pub fn cycle_ratio(g: &EventGraph, cycle: &[usize]) -> (f64, u32) {
             .iter()
             .filter(|a| a.from == pair[0] && a.to == pair[1])
             .max_by(|x, y| {
-                (x.weight - f64::from(x.tokens))
-                    .total_cmp(&(y.weight - f64::from(y.tokens)))
+                (x.weight - f64::from(x.tokens)).total_cmp(&(y.weight - f64::from(y.tokens)))
             })
         {
             w += a.weight;
@@ -109,9 +108,7 @@ fn has_positive_cycle(g: &EventGraph, lambda: f64) -> Option<Vec<usize>> {
                 changed_vertex = Some(a.to);
             }
         }
-        if changed_vertex.is_none() {
-            return None;
-        }
+        changed_vertex?;
     }
     // a relaxation in the n-th pass witnesses a positive cycle; walk back n
     // steps to land on the cycle, then trace it
@@ -275,6 +272,7 @@ pub fn brute_force_mcr(g: &EventGraph, max_len: usize) -> Option<f64> {
     }
     // DFS from each vertex, only visiting vertices >= start to avoid
     // duplicate cycles
+    #[allow(clippy::too_many_arguments)] // recursive walker: explicit state beats a context struct here
     fn dfs(
         start: usize,
         v: usize,
@@ -293,7 +291,7 @@ pub fn brute_force_mcr(g: &EventGraph, max_len: usize) -> Option<f64> {
             if a.to == start {
                 if t + a.tokens > 0 {
                     let ratio = (w + a.weight) / f64::from(t + a.tokens);
-                    if best.map_or(true, |b| ratio > b) {
+                    if best.is_none_or(|b| ratio > b) {
                         *best = Some(ratio);
                     }
                 }

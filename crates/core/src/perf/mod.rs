@@ -138,23 +138,17 @@ impl EventGraph {
                     // (a) ?v marked before v+
                     push(Self::vertex(q, true), vp, d, m0(q));
                     // (d) ?v unmarked before v-
-                    push(
-                        Self::vertex(q, false),
-                        vm,
-                        d,
-                        m0(v) * (1 - m0(q)),
-                    );
+                    push(Self::vertex(q, false), vm, d, m0(v) * (1 - m0(q)));
                 }
                 for w in dedup(dfs.r_postset(v)) {
                     // (b) v? unmarked before v+
-                    push(
-                        Self::vertex(w, false),
-                        vp,
-                        d,
-                        (1 - m0(w)) * (1 - m0(v)),
-                    );
-                    // (c) v? marked before v-
-                    push(Self::vertex(w, true), vm, d, 0);
+                    push(Self::vertex(w, false), vp, d, (1 - m0(w)) * (1 - m0(v)));
+                    // (c) v? marked before v-; when both v and its postset
+                    // register start marked, v's first release is enabled by
+                    // w's *initial* token (w+^0), shifting the dependency by
+                    // one occurrence — without this, adjacent initially
+                    // marked registers look like a token-free cycle
+                    push(Self::vertex(w, true), vm, d, m0(v) * m0(w));
                 }
             }
         }
@@ -215,7 +209,11 @@ pub fn analyse(dfs: &Dfs) -> Result<PerfReport, DfsError> {
     let cycle = describe_cycle(dfs, &g, &sol.cycle);
     Ok(PerfReport {
         period: sol.ratio,
-        throughput: if sol.ratio > 0.0 { 1.0 / sol.ratio } else { f64::INFINITY },
+        throughput: if sol.ratio > 0.0 {
+            1.0 / sol.ratio
+        } else {
+            f64::INFINITY
+        },
         critical: cycle,
     })
 }
@@ -234,11 +232,7 @@ pub(crate) fn describe_cycle(dfs: &Dfs, g: &EventGraph, cycle: &[usize]) -> Crit
     let mut delay = 0.0;
     let mut tokens = 0u32;
     for w in cycle.windows(2) {
-        if let Some(arc) = g
-            .arcs
-            .iter()
-            .find(|a| a.from == w[0] && a.to == w[1])
-        {
+        if let Some(arc) = g.arcs.iter().find(|a| a.from == w[0] && a.to == w[1]) {
             delay += arc.weight;
             tokens += arc.tokens;
         }
@@ -292,8 +286,7 @@ mod tests {
             let dfs = ring(n, &[]);
             let report = analyse(&dfs).unwrap();
             let out = dfs.node_by_name("r0").unwrap();
-            let measured =
-                measure_throughput(&dfs, out, 10, 60, ChoicePolicy::AlwaysTrue).unwrap();
+            let measured = measure_throughput(&dfs, out, 10, 60, ChoicePolicy::AlwaysTrue).unwrap();
             assert!(
                 (report.throughput - measured).abs() < 1e-6,
                 "ring {n}: analysis {} vs simulated {measured}",

@@ -129,7 +129,11 @@ pub struct Pipeline {
 ///
 /// Propagates builder validation errors ([`DfsError`]).
 pub fn build_pipeline(spec: &PipelineSpec) -> Result<Pipeline, DfsError> {
-    assert_eq!(spec.reconfigurable.len(), spec.stages, "spec length mismatch");
+    assert_eq!(
+        spec.reconfigurable.len(),
+        spec.stages,
+        "spec length mismatch"
+    );
     assert_eq!(spec.included.len(), spec.stages, "spec length mismatch");
     let d = spec.delays;
     let mut b = DfsBuilder::new();
@@ -222,9 +226,7 @@ pub fn build_pipeline(spec: &PipelineSpec) -> Result<Pipeline, DfsError> {
     Ok(Pipeline {
         input,
         output,
-        local_outs: local_outs
-            .into_iter()
-            .collect(),
+        local_outs: local_outs.into_iter().collect(),
         global_outs,
         dfs,
     })

@@ -199,17 +199,13 @@ impl Dfs {
             NodeKind::Push => {
                 if !s.is_marked(n) {
                     match self.guard_status(s, n) {
-                        GuardStatus::Ready(TokenValue::True) => {
-                            if self.mark_core(s, n) {
-                                out.push(Event::Mark(n, TokenValue::True));
-                            }
+                        GuardStatus::Ready(TokenValue::True) if self.mark_core(s, n) => {
+                            out.push(Event::Mark(n, TokenValue::True));
                         }
-                        GuardStatus::Ready(TokenValue::False) => {
-                            // consume-and-destroy: the R-postset is not
-                            // involved at all
-                            if self.mark_core_preset(s, n) {
-                                out.push(Event::Mark(n, TokenValue::False));
-                            }
+                        // consume-and-destroy: the R-postset is not
+                        // involved at all
+                        GuardStatus::Ready(TokenValue::False) if self.mark_core_preset(s, n) => {
+                            out.push(Event::Mark(n, TokenValue::False));
                         }
                         _ => {}
                     }
@@ -235,16 +231,14 @@ impl Dfs {
             NodeKind::Pop => {
                 if !s.is_marked(n) {
                     match self.guard_status(s, n) {
-                        GuardStatus::Ready(TokenValue::True) => {
-                            if self.mark_core(s, n) {
-                                out.push(Event::Mark(n, TokenValue::True));
-                            }
+                        GuardStatus::Ready(TokenValue::True) if self.mark_core(s, n) => {
+                            out.push(Event::Mark(n, TokenValue::True));
                         }
-                        GuardStatus::Ready(TokenValue::False) => {
-                            // spontaneous empty token: ignores the data preset
-                            if self.r_postset(n).iter().all(|q| !s.is_marked(q.node)) {
-                                out.push(Event::Mark(n, TokenValue::False));
-                            }
+                        // spontaneous empty token: ignores the data preset
+                        GuardStatus::Ready(TokenValue::False)
+                            if self.r_postset(n).iter().all(|q| !s.is_marked(q.node)) =>
+                        {
+                            out.push(Event::Mark(n, TokenValue::False));
                         }
                         _ => {}
                     }
@@ -376,12 +370,8 @@ fn combine(mode: GuardMode, guards: &[RRef], s: &DfsState) -> GuardStatus {
                 GuardStatus::Disabled
             }
         }
-        GuardMode::And => GuardStatus::Ready(TokenValue::from(
-            values.iter().all(|v| v.as_bool()),
-        )),
-        GuardMode::Or => GuardStatus::Ready(TokenValue::from(
-            values.iter().any(|v| v.as_bool()),
-        )),
+        GuardMode::And => GuardStatus::Ready(TokenValue::from(values.iter().all(|v| v.as_bool()))),
+        GuardMode::Or => GuardStatus::Ready(TokenValue::from(values.iter().any(|v| v.as_bool()))),
     }
 }
 
@@ -542,16 +532,16 @@ mod tests {
         let s0 = DfsState::initial(&dfs);
         assert_eq!(dfs.guard_status(&s0, p), GuardStatus::Disabled);
         assert!(dfs.has_control_mismatch(&s0));
-        assert!(!dfs
-            .enabled_events(&s0)
-            .iter()
-            .any(|e| e.node() == p));
+        assert!(!dfs.enabled_events(&s0).iter().any(|e| e.node() == p));
     }
 
     #[test]
     fn and_or_guard_modes_resolve_mismatch() {
         use crate::graph::GuardMode;
-        for (mode, expect) in [(GuardMode::And, TokenValue::False), (GuardMode::Or, TokenValue::True)] {
+        for (mode, expect) in [
+            (GuardMode::And, TokenValue::False),
+            (GuardMode::Or, TokenValue::True),
+        ] {
             let mut b = DfsBuilder::new();
             let i = b.register("in").marked().build();
             let c1 = b.control("c1").marked_with(TokenValue::True).build();

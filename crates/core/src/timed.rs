@@ -165,8 +165,8 @@ pub fn simulate_timed(dfs: &Dfs, config: &TimedConfig) -> Result<TimedRun, DfsEr
 
     // resolve free choices: given both Mark(n,True/False) enabled, keep one
     let resolve = |events: Vec<Event>,
-                       alternate_next: &mut Vec<TokenValue>,
-                       rng: &mut XorShift|
+                   alternate_next: &mut Vec<TokenValue>,
+                   rng: &mut XorShift|
      -> Vec<Event> {
         let mut out = Vec::with_capacity(events.len());
         let mut skip: Option<Event> = None;

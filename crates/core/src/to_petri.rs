@@ -17,6 +17,10 @@ use crate::node::{NodeId, NodeKind, TokenValue};
 use rap_petri::{PetriNet, PlaceId, TransitionId};
 use std::collections::HashMap;
 
+/// The true/false complementary place pairs of one dynamic register:
+/// `((Mt_x_0, Mt_x_1), (Mf_x_0, Mf_x_1))`.
+pub type ValuePlacePairs = ((PlaceId, PlaceId), (PlaceId, PlaceId));
+
 /// The Petri-net image of a DFS model, with the mapping tables needed to
 /// interpret verification results back at the dataflow level.
 #[derive(Debug, Clone)]
@@ -31,7 +35,7 @@ pub struct PetriImage {
     /// complementary pairs so that both a value and its absence can be
     /// tested by read arcs (the paper's Fig. 4 uses the same `Mt_ctrl_1`
     /// naming).
-    pub value_places: HashMap<NodeId, ((PlaceId, PlaceId), (PlaceId, PlaceId))>,
+    pub value_places: HashMap<NodeId, ValuePlacePairs>,
     /// Base label of each transition (variant suffixes stripped): aligns
     /// with [`crate::Dfs::event_label`].
     pub labels: Vec<String>,
@@ -52,11 +56,7 @@ impl PetriImage {
             .values()
             .chain(self.marking_places.values())
             .copied()
-            .chain(
-                self.value_places
-                    .values()
-                    .flat_map(|&(mt, mf)| [mt, mf]),
-            )
+            .chain(self.value_places.values().flat_map(|&(mt, mf)| [mt, mf]))
             .collect()
     }
 }
@@ -386,10 +386,28 @@ pub fn to_petri(dfs: &Dfs) -> PetriImage {
                 if sources.is_empty() {
                     // free choice: both variants, mark_core reads only
                     tx.valued_mark_transitions(n, TokenValue::True, &[], mode, MarkCondition::Full);
-                    tx.valued_mark_transitions(n, TokenValue::False, &[], mode, MarkCondition::Full);
+                    tx.valued_mark_transitions(
+                        n,
+                        TokenValue::False,
+                        &[],
+                        mode,
+                        MarkCondition::Full,
+                    );
                 } else {
-                    tx.valued_mark_transitions(n, TokenValue::True, &sources, mode, MarkCondition::Full);
-                    tx.valued_mark_transitions(n, TokenValue::False, &sources, mode, MarkCondition::Full);
+                    tx.valued_mark_transitions(
+                        n,
+                        TokenValue::True,
+                        &sources,
+                        mode,
+                        MarkCondition::Full,
+                    );
+                    tx.valued_mark_transitions(
+                        n,
+                        TokenValue::False,
+                        &sources,
+                        mode,
+                        MarkCondition::Full,
+                    );
                 }
                 for v in [TokenValue::True, TokenValue::False] {
                     let base = if v == TokenValue::True {
@@ -408,7 +426,13 @@ pub fn to_petri(dfs: &Dfs) -> PetriImage {
                 if guards.is_empty() {
                     tx.valued_mark_transitions(n, TokenValue::True, &[], mode, MarkCondition::Full);
                 } else {
-                    tx.valued_mark_transitions(n, TokenValue::True, &guards, mode, MarkCondition::Full);
+                    tx.valued_mark_transitions(
+                        n,
+                        TokenValue::True,
+                        &guards,
+                        mode,
+                        MarkCondition::Full,
+                    );
                     // consume-and-destroy ignores the R-postset
                     tx.valued_mark_transitions(
                         n,
@@ -444,7 +468,13 @@ pub fn to_petri(dfs: &Dfs) -> PetriImage {
                 if guards.is_empty() {
                     tx.valued_mark_transitions(n, TokenValue::True, &[], mode, MarkCondition::Full);
                 } else {
-                    tx.valued_mark_transitions(n, TokenValue::True, &guards, mode, MarkCondition::Full);
+                    tx.valued_mark_transitions(
+                        n,
+                        TokenValue::True,
+                        &guards,
+                        mode,
+                        MarkCondition::Full,
+                    );
                     // false production: guard presence and empty R-postset
                     tx.valued_mark_transitions(
                         n,

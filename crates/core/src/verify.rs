@@ -133,11 +133,7 @@ fn deadlocks(img: &PetriImage, space: &StateSpace) -> Vec<Counterexample> {
 
 /// Builds the Reach predicate "some node has marked guards with both
 /// values" and searches for a witness.
-fn control_mismatch(
-    dfs: &Dfs,
-    img: &PetriImage,
-    space: &StateSpace,
-) -> Option<Counterexample> {
+fn control_mismatch(dfs: &Dfs, img: &PetriImage, space: &StateSpace) -> Option<Counterexample> {
     // Generate the disjunction over all guard pairs of all nodes. Inverted
     // guards contribute their flipped value places.
     let mut clauses = Vec::new();
@@ -174,8 +170,7 @@ fn control_mismatch(
         .expect("generated names resolve");
     rap_reach::find_witness(&img.net, space, &compiled).map(|w| Counterexample {
         trace: trace_labels(img, &w.trace),
-        reason: "control mismatch: True and False guard tokens visible simultaneously"
-            .to_string(),
+        reason: "control mismatch: True and False guard tokens visible simultaneously".to_string(),
     })
 }
 

@@ -44,12 +44,7 @@ pub struct Wagged {
 /// Builds a rotating control ring with `ways` guard positions (three
 /// registers per position), `True` initially at position 0. Returns the
 /// guard registers, one per position.
-fn rotating_ring(
-    b: &mut DfsBuilder,
-    prefix: &str,
-    ways: usize,
-    delay: f64,
-) -> Vec<NodeId> {
+fn rotating_ring(b: &mut DfsBuilder, prefix: &str, ways: usize, delay: f64) -> Vec<NodeId> {
     let len = 3 * ways;
     let regs: Vec<NodeId> = (0..len)
         .map(|i| {
@@ -178,7 +173,7 @@ mod tests {
 
     #[test]
     fn tokens_alternate_between_ways() {
-        use crate::sim::{simulate, SimConfig, Scheduler};
+        use crate::sim::{simulate, Scheduler, SimConfig};
         let w = wagged_pipeline(2, 1, 2.0).unwrap();
         let run = simulate(
             &w.dfs,
@@ -195,6 +190,9 @@ mod tests {
         let (a, b) = (run.mark_count(r0), run.mark_count(r1));
         assert!(a > 0 && b > 0, "both ways must be used (a={a}, b={b})");
         let ratio = a.max(b) as f64 / a.min(b).max(1) as f64;
-        assert!(ratio < 2.0, "round-robin should balance ways (a={a}, b={b})");
+        assert!(
+            ratio < 2.0,
+            "round-robin should balance ways (a={a}, b={b})"
+        );
     }
 }

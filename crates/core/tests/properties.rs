@@ -12,39 +12,38 @@ fn arb_dfs() -> impl Strategy<Value = Dfs> {
     let kinds = proptest::collection::vec(0u8..5, 3..8);
     let marks = proptest::collection::vec(any::<(bool, bool)>(), 3..8);
     let edges = proptest::collection::vec((0usize..8, 0usize..8), 2..14);
-    (kinds, marks, edges)
-        .prop_filter_map("invalid model", |(kinds, marks, edges)| {
-            let mut b = DfsBuilder::new();
-            let n = kinds.len().min(marks.len());
-            let ids: Vec<_> = (0..n)
-                .map(|i| {
-                    let name = format!("n{i}");
-                    let nb = match kinds[i] {
-                        0 => b.logic(name),
-                        1 => b.register(name),
-                        2 => b.control(name),
-                        3 => b.push(name),
-                        _ => b.pop(name),
-                    };
-                    let (marked, value) = marks[i];
-                    if marked && kinds[i] != 0 {
-                        if kinds[i] == 1 {
-                            nb.marked().build()
-                        } else {
-                            nb.marked_with(TokenValue::from(value)).build()
-                        }
+    (kinds, marks, edges).prop_filter_map("invalid model", |(kinds, marks, edges)| {
+        let mut b = DfsBuilder::new();
+        let n = kinds.len().min(marks.len());
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let name = format!("n{i}");
+                let nb = match kinds[i] {
+                    0 => b.logic(name),
+                    1 => b.register(name),
+                    2 => b.control(name),
+                    3 => b.push(name),
+                    _ => b.pop(name),
+                };
+                let (marked, value) = marks[i];
+                if marked && kinds[i] != 0 {
+                    if kinds[i] == 1 {
+                        nb.marked().build()
                     } else {
-                        nb.build()
+                        nb.marked_with(TokenValue::from(value)).build()
                     }
-                })
-                .collect();
-            for (from, to) in edges {
-                if from < n && to < n && from != to {
-                    b.connect(ids[from], ids[to]);
+                } else {
+                    nb.build()
                 }
+            })
+            .collect();
+        for (from, to) in edges {
+            if from < n && to < n && from != to {
+                b.connect(ids[from], ids[to]);
             }
-            b.finish().ok()
-        })
+        }
+        b.finish().ok()
+    })
 }
 
 proptest! {
@@ -97,7 +96,7 @@ proptest! {
             let s = lts.state(id);
             for n in dfs.nodes() {
                 if dfs.kind(n) == NodeKind::Logic {
-                    prop_assert_eq!(s.token_value(n).is_some(), false || s.is_active(n));
+                    prop_assert_eq!(s.token_value(n).is_some(), s.is_active(n));
                 }
             }
             for (ev, succ) in lts.successors(id) {

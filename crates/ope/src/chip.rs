@@ -192,6 +192,9 @@ mod tests {
             },
             &[],
         );
-        assert_eq!(normal, rand, "normal mode over LFSR items equals random mode");
+        assert_eq!(
+            normal, rand,
+            "normal mode over LFSR items equals random mode"
+        );
     }
 }

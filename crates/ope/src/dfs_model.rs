@@ -19,8 +19,8 @@ use dfs_core::DfsError;
 #[must_use]
 pub fn ope_stage_delays() -> StageDelays {
     StageDelays {
-        f: 1.0,      // local shift
-        g: 2.0,      // comparator + rank contribution
+        f: 1.0, // local shift
+        g: 2.0, // comparator + rank contribution
         register: 1.0,
         control: 0.5,
     }

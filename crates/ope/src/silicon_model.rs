@@ -238,7 +238,10 @@ mod tests {
         let e = m.energy(PipelineKind::Static, 1.2, M16);
         assert!((t - 1.22).abs() / 1.22 < 0.01, "time {t} s vs 1.22 s");
         // leakage at nominal adds ~32 µJ on top of 2.74 mJ dynamic
-        assert!((e - 2.74e-3).abs() / 2.74e-3 < 0.03, "energy {e} J vs 2.74 mJ");
+        assert!(
+            (e - 2.74e-3).abs() / 2.74e-3 < 0.03,
+            "energy {e} J vs 2.74 mJ"
+        );
     }
 
     #[test]
@@ -326,15 +329,16 @@ mod tests {
             let diffs: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
             let first = diffs[0];
             assert!(
-                diffs.iter().all(|d| (d - first).abs() < 1e-9 * first.abs().max(1.0)),
+                diffs
+                    .iter()
+                    .all(|d| (d - first).abs() < 1e-9 * first.abs().max(1.0)),
                 "constant increments = linear in depth at {v} V"
             );
         }
         // the slope shrinks as the voltage rises (§IV: "the slope of
         // increment is reverse-proportional to the supply voltage")
-        let slope = |v: f64| {
-            m.computation_time(kind(18), v, M16) - m.computation_time(kind(17), v, M16)
-        };
+        let slope =
+            |v: f64| m.computation_time(kind(18), v, M16) - m.computation_time(kind(17), v, M16);
         assert!(slope(0.5) > slope(0.8) && slope(0.8) > slope(1.2));
     }
 
@@ -346,16 +350,11 @@ mod tests {
             sync: SyncStyle::DaisyChain,
         };
         // Fig. 9b: start at 0.5 V, step down to 0.34 V (freeze), recover
-        let profile = VoltageProfile::Steps(vec![
-            (0.0, 0.5),
-            (20.0, 0.45),
-            (35.0, 0.34),
-            (50.0, 0.5),
-        ]);
+        let profile =
+            VoltageProfile::Steps(vec![(0.0, 0.5), (20.0, 0.45), (35.0, 0.34), (50.0, 0.5)]);
         // pick a count that finishes after recovery
         let items = (30.0 / m.cycle_time(kind, 0.5)) as u64;
-        let (trace, finished) =
-            m.power_trace(kind, &profile, items, 5.0, 80.0, 0.1);
+        let (trace, finished) = m.power_trace(kind, &profile, items, 5.0, 80.0, 0.1);
         let finish = finished.expect("must complete after recovery");
         assert!(finish > 50.0, "completion only after the supply recovers");
         // during the freeze the power equals the leakage floor

@@ -22,19 +22,11 @@ pub fn to_dot(net: &PetriNet) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape=circle{fill}];",
-            escape(&place.name)
-        );
+        let _ = writeln!(out, "  \"{}\" [shape=circle{fill}];", escape(&place.name));
     }
     for t in net.transitions() {
         let tr = net.transition(t);
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape=box, height=0.2];",
-            escape(&tr.name)
-        );
+        let _ = writeln!(out, "  \"{}\" [shape=box, height=0.2];", escape(&tr.name));
         for &p in tr.consumes() {
             let _ = writeln!(
                 out,

@@ -120,9 +120,7 @@ pub fn farkas_invariants(net: &PetriNet, max_rows: usize) -> Option<Vec<Vec<i64>
         .filter(|y| {
             !out.iter().any(|z| {
                 z != *y
-                    && z.iter()
-                        .zip(y.iter())
-                        .all(|(&a, &b)| a == 0 || b != 0)
+                    && z.iter().zip(y.iter()).all(|(&a, &b)| a == 0 || b != 0)
                     && z.iter().zip(y.iter()).any(|(&a, &b)| a == 0 && b != 0)
             })
         })
@@ -156,10 +154,7 @@ fn normalise(row: &mut (Vec<i64>, Vec<i64>)) {
 /// pair must be a P-invariant with initial token sum 1. Returns the index
 /// of the first failing pair.
 #[must_use]
-pub fn certify_complementary_pairs(
-    net: &PetriNet,
-    pairs: &[(PlaceId, PlaceId)],
-) -> Option<usize> {
+pub fn certify_complementary_pairs(net: &PetriNet, pairs: &[(PlaceId, PlaceId)]) -> Option<usize> {
     let m0 = net.initial_marking();
     for (i, &(a, b)) in pairs.iter().enumerate() {
         // the weight vector is zero outside {a, b}: only those two places
@@ -236,8 +231,12 @@ mod tests {
         let a1 = net.add_place("a1", false);
         let b0 = net.add_place("b0", true);
         let b1 = net.add_place("b1", false);
-        for (name, from, to) in [("ta", a0, a1), ("ta2", a1, a0), ("tb", b0, b1), ("tb2", b1, b0)]
-        {
+        for (name, from, to) in [
+            ("ta", a0, a1),
+            ("ta2", a1, a0),
+            ("tb", b0, b1),
+            ("tb2", b1, b0),
+        ] {
             let t = net.add_transition(name);
             net.consume(t, from);
             net.produce(t, to);

@@ -57,4 +57,4 @@ pub mod reachability;
 pub use error::PetriError;
 pub use ids::{PlaceId, TransitionId};
 pub use marking::Marking;
-pub use net::{Place, PetriNet, Transition};
+pub use net::{PetriNet, Place, Transition};

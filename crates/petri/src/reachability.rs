@@ -155,9 +155,7 @@ pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
             if !net.is_enabled(t, &marking) {
                 continue;
             }
-            let next = net
-                .fire(t, &marking)
-                .expect("enabled transition must fire");
+            let next = net.fire(t, &marking).expect("enabled transition must fire");
             let succ = match index.entry(next) {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {

@@ -121,4 +121,54 @@ proptest! {
             prop_assert_eq!(a.successors(sa), b.successors(sb));
         }
     }
+
+    /// The explorer preserves 1-safety on every reachable marking: a marking
+    /// never carries more tokens than places, and no enabled transition may
+    /// produce a second token into a place it does not also consume from
+    /// (the complementary-place firing discipline).
+    #[test]
+    fn explorer_preserves_one_safety(net in arb_net(10, 9)) {
+        let space = explore_truncated(&net, ExploreConfig { max_states: 4_000 });
+        for s in space.states() {
+            let m = space.marking(s);
+            prop_assert_eq!(m.len(), net.place_count());
+            prop_assert!(m.count() <= net.place_count());
+            for t in net.transitions() {
+                if net.is_enabled(t, m) {
+                    let tr = net.transition(t);
+                    for &p in tr.produces() {
+                        prop_assert!(
+                            !m.is_marked(p) || tr.consumes().contains(&p),
+                            "enabled transition would double-mark a place"
+                        );
+                    }
+                    // firing an enabled transition keeps the image 1-safe
+                    prop_assert!(net.fire(t, m).unwrap().count() <= net.place_count());
+                } else {
+                    prop_assert!(net.fire(t, m).is_err());
+                }
+            }
+        }
+    }
+
+    /// Counterexample traces reconstructed by the explorer replay from the
+    /// initial marking to exactly the offending state: every deadlock's
+    /// trace reaches its dead marking, in which nothing is enabled.
+    #[test]
+    fn counterexample_traces_replay_to_offending_state(net in arb_net(9, 8)) {
+        let space = explore_truncated(&net, ExploreConfig { max_states: 4_000 });
+        for dead in rap_petri::analysis::find_deadlocks(&space) {
+            let mut m = net.initial_marking();
+            for t in &dead.trace {
+                prop_assert!(net.is_enabled(*t, &m), "trace step must be enabled");
+                m = net.fire(*t, &m).unwrap();
+            }
+            prop_assert_eq!(&m, &dead.marking);
+            prop_assert_eq!(&m, space.marking(dead.state));
+            prop_assert!(
+                net.enabled_transitions(&m).is_empty(),
+                "replayed trace must land in the dead state"
+            );
+        }
+    }
 }

@@ -92,13 +92,21 @@ impl fmt::Display for Expr {
                 set,
                 pattern,
                 body,
-            } => write!(f, "forall {var} in {}(\"{pattern}\"): {body}", set_name(*set)),
+            } => write!(
+                f,
+                "forall {var} in {}(\"{pattern}\"): {body}",
+                set_name(*set)
+            ),
             Expr::Exists {
                 var,
                 set,
                 pattern,
                 body,
-            } => write!(f, "exists {var} in {}(\"{pattern}\"): {body}", set_name(*set)),
+            } => write!(
+                f,
+                "exists {var} in {}(\"{pattern}\"): {body}",
+                set_name(*set)
+            ),
         }
     }
 }

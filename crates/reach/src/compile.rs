@@ -75,18 +75,9 @@ fn lower(
         Expr::Marked(name) => Node::Marked(resolve_place(name, net, env)?),
         Expr::Enabled(name) => Node::Enabled(resolve_transition(name, net, env)?),
         Expr::Not(e) => Node::Not(Box::new(lower(e, net, env)?)),
-        Expr::And(a, b) => Node::And(
-            Box::new(lower(a, net, env)?),
-            Box::new(lower(b, net, env)?),
-        ),
-        Expr::Or(a, b) => Node::Or(
-            Box::new(lower(a, net, env)?),
-            Box::new(lower(b, net, env)?),
-        ),
-        Expr::Xor(a, b) => Node::Xor(
-            Box::new(lower(a, net, env)?),
-            Box::new(lower(b, net, env)?),
-        ),
+        Expr::And(a, b) => Node::And(Box::new(lower(a, net, env)?), Box::new(lower(b, net, env)?)),
+        Expr::Or(a, b) => Node::Or(Box::new(lower(a, net, env)?), Box::new(lower(b, net, env)?)),
+        Expr::Xor(a, b) => Node::Xor(Box::new(lower(a, net, env)?), Box::new(lower(b, net, env)?)),
         Expr::Imp(a, b) => Node::Or(
             Box::new(Node::Not(Box::new(lower(a, net, env)?))),
             Box::new(lower(b, net, env)?),
@@ -250,7 +241,8 @@ mod tests {
     fn nested_quantifiers_shadow() {
         let net = demo_net();
         // inner p shadows outer p; expression is well-formed and evaluates
-        let src = r#"exists p in places("Mt_a_1"): (marked(p) & forall p in places("Mf_*"): !marked(p))"#;
+        let src =
+            r#"exists p in places("Mt_a_1"): (marked(p) & forall p in places("Mf_*"): !marked(p))"#;
         assert!(eval(src, &net));
     }
 

@@ -159,11 +159,13 @@ mod tests {
 
     #[test]
     fn lexes_all_token_kinds() {
-        let toks = lex(r#"forall p in places("a_*"): !marked(p) & true -> x <-> y ^ z | w"#)
-            .unwrap();
+        let toks =
+            lex(r#"forall p in places("a_*"): !marked(p) & true -> x <-> y ^ z | w"#).unwrap();
         let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
         assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "forall"));
-        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Str(s) if s == "a_*")));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str(s) if s == "a_*")));
         assert!(kinds.iter().any(|k| matches!(k, TokenKind::Arrow)));
         assert!(kinds.iter().any(|k| matches!(k, TokenKind::DArrow)));
         assert!(kinds.iter().any(|k| matches!(k, TokenKind::Caret)));
@@ -177,13 +179,7 @@ mod tests {
     #[test]
     fn bad_char_reports_offset() {
         let err = lex("a @ b").unwrap_err();
-        assert_eq!(
-            err,
-            ReachError::UnexpectedChar {
-                offset: 2,
-                ch: '@'
-            }
-        );
+        assert_eq!(err, ReachError::UnexpectedChar { offset: 2, ch: '@' });
     }
 
     #[test]

@@ -113,7 +113,12 @@ pub fn c_combine(
             let mut acc = inputs[0];
             for (i, &next) in inputs.iter().enumerate().skip(1) {
                 let out = nl.add_net(format!("{prefix}_ch{i}"), false);
-                nl.add_cell(format!("{prefix}_cch{i}"), GateKind::C, vec![acc, next], out);
+                nl.add_cell(
+                    format!("{prefix}_cch{i}"),
+                    GateKind::C,
+                    vec![acc, next],
+                    out,
+                );
                 acc = out;
             }
             acc

@@ -20,8 +20,8 @@
 //! on the completion-structure latency this mapping does expose.
 
 use crate::components::{
-    c_combine, completion_detector, dr_and, dr_input_bus, dr_not, dr_or, dr_xor,
-    ripple_adder, CompletionStyle, DrBus, DrSignal,
+    c_combine, completion_detector, dr_and, dr_input_bus, dr_not, dr_or, dr_xor, ripple_adder,
+    CompletionStyle, DrBus, DrSignal,
 };
 use crate::gate::GateKind;
 use crate::netlist::{NetId, Netlist};
@@ -145,13 +145,10 @@ pub fn map_dfs(dfs: &Dfs, config: &MapConfig) -> Result<MappedCircuit, MapError>
         if node.kind.is_dynamic() && node.initial.value() == Some(dfs_core::TokenValue::False) {
             return Err(MapError::ExcludedDynamicNode(node.name.clone()));
         }
-        let init = node.initial.is_marked().then(|| {
-            config
-                .initial_values
-                .get(&node.name)
-                .copied()
-                .unwrap_or(0)
-        });
+        let init = node
+            .initial
+            .is_marked()
+            .then(|| config.initial_values.get(&node.name).copied().unwrap_or(0));
         let bits = (0..w)
             .map(|i| {
                 let (t0, f0) = match init {
@@ -244,7 +241,12 @@ pub fn map_dfs(dfs: &Dfs, config: &MapConfig) -> Result<MappedCircuit, MapError>
                 s_out.f,
             );
         }
-        let done = completion_detector(&mut nl, &format!("{}_cd", node.name), out, config.completion);
+        let done = completion_detector(
+            &mut nl,
+            &format!("{}_cd", node.name),
+            out,
+            config.completion,
+        );
         completions.insert(node.name.clone(), done);
     }
 
@@ -260,7 +262,12 @@ pub fn map_dfs(dfs: &Dfs, config: &MapConfig) -> Result<MappedCircuit, MapError>
         if downstream.is_empty() {
             // sink register: self-acknowledge so the output drains
             let own = completions[&node.name];
-            nl.add_cell(format!("{}_ackinv", node.name), GateKind::Not, vec![own], ki);
+            nl.add_cell(
+                format!("{}_ackinv", node.name),
+                GateKind::Not,
+                vec![own],
+                ki,
+            );
         } else {
             let sync = c_combine(
                 &mut nl,
@@ -268,7 +275,12 @@ pub fn map_dfs(dfs: &Dfs, config: &MapConfig) -> Result<MappedCircuit, MapError>
                 &downstream,
                 config.completion,
             );
-            nl.add_cell(format!("{}_ackinv", node.name), GateKind::Not, vec![sync], ki);
+            nl.add_cell(
+                format!("{}_ackinv", node.name),
+                GateKind::Not,
+                vec![sync],
+                ki,
+            );
         }
     }
 
@@ -324,8 +336,8 @@ fn settle_initial_values(nl: &mut Netlist, frozen: &std::collections::HashSet<Ne
             break;
         }
     }
-    for i in 0..nl.net_count() {
-        nl.nets[i].initial = values[i];
+    for (net, &value) in nl.nets.iter_mut().zip(&values) {
+        net.initial = value;
     }
 }
 
@@ -334,12 +346,7 @@ fn settle_initial_values(nl: &mut Netlist, frozen: &std::collections::HashSet<Ne
 fn topo_logic_order(dfs: &Dfs) -> Vec<NodeId> {
     let mut order = Vec::new();
     let mut visited: HashMap<NodeId, bool> = HashMap::new();
-    fn visit(
-        dfs: &Dfs,
-        l: NodeId,
-        visited: &mut HashMap<NodeId, bool>,
-        order: &mut Vec<NodeId>,
-    ) {
+    fn visit(dfs: &Dfs, l: NodeId, visited: &mut HashMap<NodeId, bool>, order: &mut Vec<NodeId>) {
         if visited.contains_key(&l) {
             return;
         }

@@ -394,7 +394,9 @@ impl<'a> Simulator<'a> {
             self.bucket_switch += leak;
             cur = next;
             if let Some(dt) = interval {
-                if (cur - (self.bucket_start + dt)).abs() < dt * 1e-9 || cur >= self.bucket_start + dt {
+                if (cur - (self.bucket_start + dt)).abs() < dt * 1e-9
+                    || cur >= self.bucket_start + dt
+                {
                     let v = self.config.supply.at(cur);
                     self.trace.push(cur, self.bucket_switch / dt, v);
                     self.bucket_start = cur;
@@ -433,9 +435,7 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::components::{
-        completion_detector, dr_input_bus, ncl_register, CompletionStyle,
-    };
+    use crate::components::{completion_detector, dr_input_bus, ncl_register, CompletionStyle};
     use crate::gate::GateKind;
 
     #[test]

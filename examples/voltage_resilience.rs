@@ -76,8 +76,15 @@ fn main() {
     let profile = VoltageProfile::Steps(vec![(0.0, 0.5), (20.0, 0.34), (45.0, 0.5)]);
     let items = (30.0 / m.cycle_time(kind, 0.5)) as u64;
     let (trace, finished) = m.power_trace(kind, &profile, items, 2.0, 70.0, 0.5);
-    println!("chip level: {} samples, completion at {:?} s", trace.len(), finished);
-    println!("  power while computing at 0.5 V: {:.2} uW", trace.power[10] * 1e6);
+    println!(
+        "chip level: {} samples, completion at {:?} s",
+        trace.len(),
+        finished
+    );
+    println!(
+        "  power while computing at 0.5 V: {:.2} uW",
+        trace.power[10] * 1e6
+    );
     let frozen_idx = trace.time.iter().position(|&t| t > 30.0).unwrap();
     println!(
         "  power while frozen at 0.34 V:   {:.2} uW (leakage floor)",

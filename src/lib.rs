@@ -50,7 +50,9 @@
 #![warn(missing_docs)]
 
 pub use dfs_core as dfs;
+#[cfg(feature = "ope")]
 pub use rap_ope as ope;
 pub use rap_petri as petri;
 pub use rap_reach as reach;
+#[cfg(feature = "silicon")]
 pub use rap_silicon as silicon;

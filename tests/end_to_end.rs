@@ -59,8 +59,7 @@ edge r2 -> r0
 fn reach_predicates_on_dfs_models() {
     let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 1)).unwrap();
     let img = to_petri(&p.dfs);
-    let space =
-        rap::petri::reachability::explore(&img.net, Default::default()).expect("explores");
+    let space = rap::petri::reachability::explore(&img.net, Default::default()).expect("explores");
 
     // the excluded stage's control loop forever carries a False token:
     // its guard register is never true-marked

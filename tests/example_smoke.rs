@@ -1,0 +1,38 @@
+//! Smoke tests: every `examples/*.rs` scenario must build, run to
+//! completion and exit 0.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo run --example {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn smoke_quickstart() {
+    run_example("quickstart");
+}
+
+#[test]
+fn smoke_ope_encoder() {
+    run_example("ope_encoder");
+}
+
+#[test]
+fn smoke_reconfigurable_pipeline() {
+    run_example("reconfigurable_pipeline");
+}
+
+#[test]
+fn smoke_voltage_resilience() {
+    run_example("voltage_resilience");
+}

@@ -76,9 +76,8 @@ fn depth_scaling_is_linear_with_voltage_dependent_slope() {
         depth: d,
         sync: SyncStyle::DaisyChain,
     };
-    let slope_at = |v: f64| {
-        m.computation_time(kind(18), v, M16) - m.computation_time(kind(17), v, M16)
-    };
+    let slope_at =
+        |v: f64| m.computation_time(kind(18), v, M16) - m.computation_time(kind(17), v, M16);
     // linearity: constant increments
     for v in [0.5, 1.2] {
         let d1 = m.computation_time(kind(4), v, M16) - m.computation_time(kind(3), v, M16);

@@ -1,0 +1,108 @@
+//! Golden-output tests for the text exporters: the DFS DOT view, the
+//! Petri-net DOT view, and the Verilog netlist of a small model are
+//! snapshotted under `tests/fixtures/` and diffed byte-for-byte. Run with
+//! `RAP_UPDATE_GOLDEN=1` to regenerate the fixtures after an intentional
+//! format change.
+
+use rap::dfs::{dsl, to_petri};
+use rap::silicon::map::{map_dfs, MapConfig};
+use rap::silicon::verilog::to_verilog;
+use std::path::Path;
+
+/// The reference model: the 3-register ring with a computation stage used
+/// throughout the paper-flow tests.
+const RING_DSL: &str = r#"
+# a 3-register ring with a computation stage
+register r0 marked delay=1
+logic    f  delay=2
+register r1
+register r2
+chain r0 -> f -> r1
+edge r1 -> r2
+edge r2 -> r0
+"#;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    if std::env::var_os("RAP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e} (run with RAP_UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or("line counts differ".to_string(), |i| {
+                format!(
+                    "first difference at line {}:\n  expected: {}\n  actual:   {}",
+                    i + 1,
+                    expected.lines().nth(i).unwrap(),
+                    actual.lines().nth(i).unwrap()
+                )
+            });
+        panic!(
+            "{name} drifted from its golden fixture ({}, expected {} lines, got {}).\n{first_diff}\n\
+             If the new output is intended, regenerate with RAP_UPDATE_GOLDEN=1.",
+            path.display(),
+            expected.lines().count(),
+            actual.lines().count()
+        );
+    }
+}
+
+#[test]
+fn dfs_dot_export_matches_fixture() {
+    let model = dsl::parse(RING_DSL).expect("DSL parses");
+    check_golden("ring.dfs.dot", &rap::dfs::dot::to_dot(&model));
+}
+
+#[test]
+fn petri_dot_export_matches_fixture() {
+    let model = dsl::parse(RING_DSL).expect("DSL parses");
+    let img = to_petri(&model);
+    check_golden("ring.petri.dot", &rap::petri::dot::to_dot(&img.net));
+}
+
+#[test]
+fn verilog_export_matches_fixture() {
+    let model = dsl::parse(RING_DSL).expect("DSL parses");
+    let mut cfg = MapConfig::with_width(4);
+    cfg.initial_values.insert("r0".into(), 0x5);
+    let mapped = map_dfs(&model, &cfg).expect("maps");
+    check_golden("ring.v", &to_verilog(&mapped.netlist, "ring"));
+}
+
+/// The exporters must be deterministic run-to-run (no hash-order leakage) —
+/// otherwise the golden files above would flake.
+#[test]
+fn exports_are_deterministic() {
+    let a = {
+        let m = dsl::parse(RING_DSL).unwrap();
+        let mapped = map_dfs(&m, &MapConfig::with_width(4)).unwrap();
+        (
+            rap::dfs::dot::to_dot(&m),
+            rap::petri::dot::to_dot(&to_petri(&m).net),
+            to_verilog(&mapped.netlist, "ring"),
+        )
+    };
+    let b = {
+        let m = dsl::parse(RING_DSL).unwrap();
+        let mapped = map_dfs(&m, &MapConfig::with_width(4)).unwrap();
+        (
+            rap::dfs::dot::to_dot(&m),
+            rap::petri::dot::to_dot(&to_petri(&m).net),
+            to_verilog(&mapped.netlist, "ring"),
+        )
+    };
+    assert_eq!(a, b);
+}

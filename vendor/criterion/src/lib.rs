@@ -1,0 +1,134 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API used by
+//! `crates/bench/benches/tool_performance.rs`: `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! best-of-N wall-clock loop printed as a plain-text table — no statistics,
+//! plots, or comparison baselines. Swap the path dependency for crates.io
+//! `criterion` to get the real harness; the bench source is unchanged.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark (keeps `cargo bench` snappy).
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+/// Measurement repetitions from which the best (minimum) time is taken.
+const SAMPLES: u32 = 10;
+
+/// How batched inputs are grouped. All variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best per-iteration time observed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+            self.best_ns = self.best_ns.min(per_iter);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let ns = t0.elapsed().as_secs_f64() * 1e9;
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+}
+
+/// Picks an iteration count that fits the time budget.
+fn calibrate(mut f: impl FnMut()) -> u32 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed();
+    if once.is_zero() {
+        return 1000;
+    }
+    let fit = (TIME_BUDGET.as_secs_f64() / SAMPLES as f64 / once.as_secs_f64()).floor();
+    fit.clamp(1.0, 10_000.0) as u32
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its best observed time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best_ns: f64::MAX };
+        f(&mut b);
+        let ns = b.best_ns;
+        let (value, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s ")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "µs")
+        } else {
+            (ns, "ns")
+        };
+        println!("{name:<40} {value:>10.3} {unit}/iter (best of {SAMPLES})");
+        self
+    }
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: runs each group, or exits immediately when Cargo invokes
+/// the bench binary in test mode (`cargo test` passes `--test`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test" || a == "--list") {
+                // `cargo test` probes bench targets; nothing to run.
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate
+//! reimplements the subset of the proptest API the test suite uses:
+//! range/tuple/`Just`/`any` strategies, `prop_map` / `prop_filter_map` /
+//! `prop_filter` / `prop_flat_map` / `prop_recursive` combinators,
+//! `proptest::collection::vec`, `prop_oneof!`, and the `proptest!` test
+//! macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from the real crate, chosen deliberately:
+//!
+//! * **Deterministic**: every test function derives its RNG seed from its
+//!   own name, so runs are reproducible without a persistence file.
+//! * **No shrinking**: a failing case reports the failed assertion only.
+//!   (Failures are expected to be rare in CI; determinism makes them
+//!   replayable.)
+//!
+//! Swapping back to crates.io `proptest` requires no source changes in the
+//! test files.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// Everything the test files import via `use proptest::prelude::*`.
+pub mod prelude {
+    /// Alias of the crate root, as in the real proptest prelude
+    /// (`prop::collection::vec(...)`).
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Rejection/failure signalling macros and the `proptest!` test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` — fails the current case when `a != b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        if !($a == $b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($a), " == ", stringify!($b)),
+            ));
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        if !($a == $b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_ne!(a, b)` — fails the current case when `a == b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        if $a == $b {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($a),
+                " != ",
+                stringify!($b)
+            )));
+        }
+    };
+}
+
+/// `prop_assume!(cond)` — rejects (skips) the current case when `cond` is
+/// false; rejected cases do not count towards the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — picks one of the strategies uniformly per
+/// generated value. All arms must share the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` block: expands each `fn name(pat in strategy)`
+/// item into a deterministic `#[test]`-style function running `cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(e) if e.is_reject() => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            // Out of attempts: accept the cases gathered so
+                            // far rather than flaking the suite.
+                            eprintln!(
+                                "proptest {}: giving up after {} rejects ({} cases ran)",
+                                stringify!($name), rejected, passed
+                            );
+                            break;
+                        }
+                    }
+                    ::core::result::Result::Err(e) => {
+                        panic!(
+                            "proptest case failed in {} (case {}): {}",
+                            stringify!($name), passed, e
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives from the sibling
+//! `serde_derive` shim and declares the trait names so `use serde::{...}`
+//! resolves in both namespaces. Swap this path dependency for the real
+//! crates.io `serde` when network access is available — no source changes
+//! needed, the derive syntax is identical.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}

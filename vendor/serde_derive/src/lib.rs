@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in a hermetic environment with no crates.io
+//! access, and nothing in the tree actually serialises — the `Serialize` /
+//! `Deserialize` derives only declare interchange intent. This shim accepts
+//! the same derive syntax (including `#[serde(...)]` field/variant
+//! attributes) and expands to nothing, which is sound because no code in the
+//! workspace requires the serde traits as bounds.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
