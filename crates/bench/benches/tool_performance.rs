@@ -7,7 +7,7 @@ use dfs_core::perf::{howard::howard_mcr, mcr::maximum_cycle_ratio, EventGraph};
 use dfs_core::pipelines::{build_pipeline, PipelineSpec};
 use dfs_core::timed::{measure_throughput, ChoicePolicy};
 use dfs_core::{to_petri, Lts};
-use rap_petri::reachability::{explore, ExploreConfig};
+use rap_petri::reachability::{explore, explore_naive_truncated, ExploreConfig};
 
 fn bench_reachability(c: &mut Criterion) {
     let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 2)).unwrap();
@@ -17,6 +17,26 @@ fn bench_reachability(c: &mut Criterion) {
     });
     c.bench_function("direct_lts_reconfig_2stage", |b| {
         b.iter(|| Lts::explore(&p.dfs, 10_000_000).unwrap().len())
+    });
+}
+
+/// Old-vs-new exploration on the same shape: the naive (seed) explorers
+/// against the incremental engine the production paths now use. The wider
+/// sweep (and the recorded JSON) lives in the `state_space_scaling` binary.
+fn bench_state_space_engine(c: &mut Criterion) {
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 2)).unwrap();
+    let img = to_petri(&p.dfs);
+    c.bench_function("pn_explore_naive_reconfig_2stage", |b| {
+        b.iter(|| explore_naive_truncated(&img.net, ExploreConfig::default()).len())
+    });
+    c.bench_function("pn_explore_engine_reconfig_2stage", |b| {
+        b.iter(|| explore(&img.net, ExploreConfig::default()).unwrap().len())
+    });
+    c.bench_function("lts_explore_naive_reconfig_2stage", |b| {
+        b.iter(|| Lts::explore_naive_truncated(&p.dfs, 10_000_000).len())
+    });
+    c.bench_function("lts_explore_engine_reconfig_2stage", |b| {
+        b.iter(|| Lts::explore_truncated(&p.dfs, 10_000_000).len())
     });
 }
 
@@ -95,6 +115,7 @@ fn bench_gate_sim(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_reachability,
+    bench_state_space_engine,
     bench_translation,
     bench_timed_sim,
     bench_mcr,

@@ -1,0 +1,101 @@
+//! PERF — old-vs-new state-space exploration across pipeline shapes.
+//!
+//! Times the retained naive explorers (the seed implementations) against
+//! the shared incremental engine (`rap_petri::engine`) on both backends —
+//! Petri-net reachability and the direct-semantics LTS — over
+//! `reconfigurable_depth(n,k)` pipelines and wagged pipelines, printing a
+//! table and persisting the measurements to `BENCH_state_space.json` at the
+//! repository root (the recorded perf trajectory of the verification hot
+//! path).
+//!
+//! Usage: `state_space_scaling [--quick] [--out PATH]`
+//!
+//! `--quick` restricts the sweep to sub-second shapes (the CI smoke
+//! configuration); `--out` overrides the output path. The emitted JSON is
+//! schema-validated before the process exits.
+
+use rap_bench::state_space::{render_json, run_sweep, validate};
+use rap_bench::{banner, num, row};
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path argument");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (expected --quick / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    // default: BENCH_state_space.json at the repository root
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_state_space.json")
+    });
+
+    banner(if quick {
+        "State-space scaling (quick sweep): naive explorer vs incremental engine"
+    } else {
+        "State-space scaling: naive explorer vs incremental engine"
+    });
+    let cases = run_sweep(quick);
+
+    let widths = [27usize, 6, 9, 11, 11, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "shape".into(),
+                "backend".into(),
+                "states".into(),
+                "naive[ms]".into(),
+                "engine[ms]".into(),
+                "speedup".into(),
+            ],
+            &widths
+        )
+    );
+    for c in &cases {
+        println!(
+            "{}",
+            row(
+                &[
+                    c.name.clone(),
+                    c.backend.into(),
+                    format!("{}", c.states),
+                    num(c.naive_ms, 2),
+                    num(c.engine_ms, 2),
+                    format!("{}x", num(c.speedup(), 2)),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let json = render_json(&cases, quick);
+    let summary = validate(&json).unwrap_or_else(|e| {
+        eprintln!("emitted JSON failed its own schema validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    println!(
+        "\n{} cases, min speedup {}x, geomean {}x — written to {}",
+        summary.cases,
+        num(summary.min_speedup, 2),
+        num(summary.geomean_speedup, 2),
+        out.display()
+    );
+}

@@ -5,6 +5,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod state_space;
+
 /// The paper's reference measurements (static pipeline at nominal voltage,
 /// §IV): 1.22 s and 2.74 mJ for 16M items.
 pub const REF_TIME_S: f64 = 1.22;

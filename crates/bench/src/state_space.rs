@@ -1,0 +1,305 @@
+//! The `state_space_scaling` sweep: old-vs-new explorer timings over the
+//! paper's pipeline shapes, persisted as `BENCH_state_space.json`.
+//!
+//! The sweep drives both state-space backends — Petri-net reachability and
+//! the direct-semantics LTS — over `PipelineSpec::reconfigurable_depth`
+//! instances and wagged pipelines, timing the retained naive explorers
+//! (`explore_naive_truncated`, `Lts::explore_naive_truncated`, the seed
+//! implementations) against the shared incremental engine, and asserting on
+//! every case that the two agree on state count and truncation. The emitted
+//! JSON is this repo's recorded perf trajectory; its schema is validated by
+//! [`validate`], which both the binary and the smoke tests run.
+
+use crate::json::{escape, Json};
+use dfs_core::pipelines::{build_pipeline, PipelineSpec};
+use dfs_core::to_petri;
+use dfs_core::wagging::wagged_pipeline;
+use dfs_core::{Dfs, Lts};
+use rap_petri::reachability::{explore_naive_truncated, explore_truncated, ExploreConfig};
+use std::time::Instant;
+
+/// Schema tag embedded in (and required from) the emitted JSON.
+pub const SCHEMA: &str = "rap/state-space-scaling/v1";
+
+/// State budget for every sweep case (none of the swept shapes truncate).
+pub const MAX_STATES: usize = 4_000_000;
+
+/// One measured sweep case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Model shape, e.g. `reconfigurable_depth(3,3)`.
+    pub name: String,
+    /// `"petri"` (PN reachability) or `"lts"` (direct semantics).
+    pub backend: &'static str,
+    /// States discovered (identical for both explorers by construction).
+    pub states: usize,
+    /// Whether the budget truncated exploration.
+    pub truncated: bool,
+    /// Best-of-N wall-clock of the naive (seed) explorer, milliseconds.
+    pub naive_ms: f64,
+    /// Best-of-N wall-clock of the incremental engine, milliseconds.
+    pub engine_ms: f64,
+}
+
+impl Case {
+    /// Naive-over-engine wall-clock ratio.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.engine_ms
+    }
+}
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds, with `f`'s last result.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        last = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (last.expect("reps >= 1"), best)
+}
+
+fn petri_case(name: &str, dfs: &Dfs, reps: usize) -> Case {
+    let img = to_petri(dfs);
+    let cfg = ExploreConfig {
+        max_states: MAX_STATES,
+    };
+    let (naive, naive_ms) = best_of(reps, || explore_naive_truncated(&img.net, cfg));
+    let (engine, engine_ms) = best_of(reps, || explore_truncated(&img.net, cfg));
+    assert_eq!(
+        (naive.len(), naive.is_truncated()),
+        (engine.len(), engine.is_truncated()),
+        "{name}: engine disagrees with the naive explorer"
+    );
+    Case {
+        name: name.to_string(),
+        backend: "petri",
+        states: engine.len(),
+        truncated: engine.is_truncated(),
+        naive_ms,
+        engine_ms,
+    }
+}
+
+fn lts_case(name: &str, dfs: &Dfs, reps: usize) -> Case {
+    let (naive, naive_ms) = best_of(reps, || Lts::explore_naive_truncated(dfs, MAX_STATES));
+    let (engine, engine_ms) = best_of(reps, || Lts::explore_truncated(dfs, MAX_STATES));
+    assert_eq!(
+        (naive.len(), naive.is_truncated()),
+        (engine.len(), engine.is_truncated()),
+        "{name}: engine disagrees with the naive explorer"
+    );
+    Case {
+        name: name.to_string(),
+        backend: "lts",
+        states: engine.len(),
+        truncated: engine.is_truncated(),
+        naive_ms,
+        engine_ms,
+    }
+}
+
+/// Runs the sweep. `quick` restricts it to sub-second shapes (CI smoke);
+/// the full sweep covers the acceptance shape `reconfigurable_depth(3,3)`
+/// and the 2-way wagged pipeline (~1.5M states).
+#[must_use]
+pub fn run_sweep(quick: bool) -> Vec<Case> {
+    let reconfig = |n: usize, k: usize| {
+        build_pipeline(&PipelineSpec::reconfigurable_depth(n, k))
+            .expect("pipeline builds")
+            .dfs
+    };
+    let wagged = |ways: usize| wagged_pipeline(ways, 1, 1.0).expect("wagging builds").dfs;
+
+    let mut cases = Vec::new();
+    cases.push(petri_case("reconfigurable_depth(2,2)", &reconfig(2, 2), 5));
+    cases.push(lts_case("reconfigurable_depth(2,2)", &reconfig(2, 2), 5));
+    cases.push(petri_case("wagging(ways=1,depth=1)", &wagged(1), 3));
+    if !quick {
+        cases.push(petri_case("reconfigurable_depth(3,2)", &reconfig(3, 2), 2));
+        cases.push(petri_case("reconfigurable_depth(3,3)", &reconfig(3, 3), 3));
+        cases.push(lts_case("reconfigurable_depth(3,3)", &reconfig(3, 3), 2));
+        cases.push(lts_case("wagging(ways=1,depth=1)", &wagged(1), 3));
+        cases.push(petri_case("wagging(ways=2,depth=1)", &wagged(2), 1));
+    }
+    cases
+}
+
+/// Renders the sweep as the `BENCH_state_space.json` document.
+#[must_use]
+pub fn render_json(cases: &[Case], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", escape(SCHEMA)));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"max_states\": {MAX_STATES},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": {},\n", escape(&c.name)));
+        out.push_str(&format!("      \"backend\": {},\n", escape(c.backend)));
+        out.push_str(&format!("      \"states\": {},\n", c.states));
+        out.push_str(&format!("      \"truncated\": {},\n", c.truncated));
+        out.push_str(&format!("      \"naive_ms\": {:.3},\n", c.naive_ms));
+        out.push_str(&format!("      \"engine_ms\": {:.3},\n", c.engine_ms));
+        out.push_str(&format!("      \"speedup\": {:.3}\n", c.speedup()));
+        out.push_str(if i + 1 == cases.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let min = cases
+        .iter()
+        .map(Case::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let geomean =
+        (cases.iter().map(|c| c.speedup().ln()).sum::<f64>() / cases.len().max(1) as f64).exp();
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!("    \"cases\": {},\n", cases.len()));
+    out.push_str(&format!("    \"min_speedup\": {min:.3},\n"));
+    out.push_str(&format!("    \"geomean_speedup\": {geomean:.3}\n"));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Summary extracted from a valid `BENCH_state_space.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of sweep cases.
+    pub cases: usize,
+    /// Minimum naive/engine speedup across cases.
+    pub min_speedup: f64,
+    /// Geometric-mean speedup across cases.
+    pub geomean_speedup: f64,
+}
+
+/// Validates a `BENCH_state_space.json` document against the v1 schema and
+/// returns its summary.
+///
+/// # Errors
+///
+/// A description of the first schema violation found.
+pub fn validate(src: &str) -> Result<Summary, String> {
+    let doc = Json::parse(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    doc.get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean \"quick\"")?;
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"cases\" array")?;
+    if cases.is_empty() {
+        return Err("\"cases\" is empty".to_string());
+    }
+    let mut min = f64::INFINITY;
+    for (i, c) in cases.iter().enumerate() {
+        let field = |k: &str| c.get(k).ok_or(format!("case {i}: missing \"{k}\""));
+        let backend = field("backend")?
+            .as_str()
+            .ok_or(format!("case {i}: \"backend\" not a string"))?;
+        if backend != "petri" && backend != "lts" {
+            return Err(format!("case {i}: unknown backend {backend:?}"));
+        }
+        field("name")?
+            .as_str()
+            .ok_or(format!("case {i}: \"name\" not a string"))?;
+        field("truncated")?
+            .as_bool()
+            .ok_or(format!("case {i}: \"truncated\" not a bool"))?;
+        let num = |k: &str| -> Result<f64, String> {
+            field(k)?
+                .as_f64()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or(format!("case {i}: \"{k}\" not a non-negative number"))
+        };
+        let (states, naive_ms, engine_ms, speedup) = (
+            num("states")?,
+            num("naive_ms")?,
+            num("engine_ms")?,
+            num("speedup")?,
+        );
+        if states < 1.0 {
+            return Err(format!("case {i}: zero states"));
+        }
+        if engine_ms > 0.0 && (speedup - naive_ms / engine_ms).abs() > 0.05 * speedup.max(1.0) {
+            return Err(format!("case {i}: speedup inconsistent with timings"));
+        }
+        min = min.min(speedup);
+    }
+    let summary = doc.get("summary").ok_or("missing \"summary\"")?;
+    let get_num = |k: &str| -> Result<f64, String> {
+        summary
+            .get(k)
+            .and_then(Json::as_f64)
+            .ok_or(format!("summary: missing number \"{k}\""))
+    };
+    let n = get_num("cases")?;
+    if n as usize != cases.len() {
+        return Err("summary case count disagrees with \"cases\"".to_string());
+    }
+    let min_speedup = get_num("min_speedup")?;
+    if (min_speedup - min).abs() > 0.05 * min.max(1.0) {
+        return Err("summary min_speedup disagrees with cases".to_string());
+    }
+    Ok(Summary {
+        cases: cases.len(),
+        min_speedup,
+        geomean_speedup: get_num("geomean_speedup")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cases() -> Vec<Case> {
+        vec![
+            Case {
+                name: "reconfigurable_depth(2,2)".into(),
+                backend: "petri",
+                states: 1536,
+                truncated: false,
+                naive_ms: 1.2,
+                engine_ms: 0.4,
+            },
+            Case {
+                name: "reconfigurable_depth(2,2)".into(),
+                backend: "lts",
+                states: 1536,
+                truncated: false,
+                naive_ms: 2.0,
+                engine_ms: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn render_validate_roundtrip() {
+        let json = render_json(&fake_cases(), true);
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary.cases, 2);
+        assert!((summary.min_speedup - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        let good = render_json(&fake_cases(), true);
+        assert!(validate(&good.replace(SCHEMA, "other/schema")).is_err());
+        assert!(validate(&good.replace("\"cases\"", "\"cazes\"")).is_err());
+        assert!(validate(&good.replace("\"speedup\": 3.000", "\"speedup\": 9.000")).is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+    }
+}

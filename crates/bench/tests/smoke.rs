@@ -5,8 +5,13 @@
 use std::process::Command;
 
 fn run_bin(name: &str) {
+    run_bin_with(name, &[]);
+}
+
+fn run_bin_with(name: &str, extra: &[&str]) {
     let out = Command::new(env!("CARGO"))
-        .args(["run", "-q", "-p", "rap-bench", "--bin", name])
+        .args(["run", "-q", "-p", "rap-bench", "--bin", name, "--"])
+        .args(extra)
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn cargo run --bin {name}: {e}"));
@@ -42,4 +47,25 @@ bin_smoke! {
     smoke_fig9b_power_trace => "fig9b_power_trace",
     smoke_flow_verilog => "flow_verilog",
     smoke_table_ranklists => "table_ranklists",
+}
+
+/// The perf-trajectory binary: quick sweep into a scratch file, then check
+/// the emitted JSON independently against the schema validator (the binary
+/// also self-validates before exiting 0).
+#[test]
+fn smoke_state_space_scaling() {
+    // per-process name: concurrent test runs must not race on the file
+    let out_path = std::env::temp_dir().join(format!(
+        "rap_bench_state_space_smoke_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out_path);
+    run_bin_with(
+        "state_space_scaling",
+        &["--quick", "--out", out_path.to_str().unwrap()],
+    );
+    let json = std::fs::read_to_string(&out_path).expect("binary wrote the JSON file");
+    let summary = rap_bench::state_space::validate(&json).expect("emitted JSON is schema-valid");
+    assert!(summary.cases >= 3);
+    let _ = std::fs::remove_file(&out_path);
 }

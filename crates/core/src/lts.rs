@@ -4,11 +4,22 @@
 //! [`Dfs::enabled_events`]. This is the reference object for the
 //! PN-translation bisimulation tests, and the substrate of the verification
 //! queries that do not go through the Petri-net backend.
+//!
+//! Since PR 2 exploration runs on the shared incremental engine of
+//! [`rap_petri::engine`]: states are packed into two bit-planes (`active`,
+//! `false-valued`) in a dense arena, and after each event only the events of
+//! *dependent* nodes — the event's own node plus everything reading it
+//! through data edges, R-presets/postsets or guards — are re-checked for
+//! enabledness. The original explorer is retained as
+//! [`Lts::explore_naive_truncated`] for property-based cross-checking and as
+//! the benchmark baseline.
 
 use crate::graph::Dfs;
+use crate::node::{NodeId, NodeKind, TokenValue};
 use crate::semantics::Event;
 use crate::state::DfsState;
 use crate::DfsError;
+use rap_petri::engine::{self, get_bit, set_bit, ExploredGraph, TransitionSystem, NO_PARENT};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
@@ -25,11 +36,18 @@ impl LtsStateId {
 }
 
 /// The reachable labelled transition system of a DFS model.
+///
+/// States are stored word-packed; [`Lts::state`] materialises a
+/// [`DfsState`] snapshot on demand.
 #[derive(Debug, Clone)]
 pub struct Lts {
-    states: Vec<DfsState>,
-    edges: Vec<Vec<(Event, LtsStateId)>>,
-    parents: Vec<Option<(LtsStateId, Event)>>,
+    node_count: usize,
+    stride: usize,
+    arena: Vec<u64>,
+    parents: Vec<(u32, u32)>,
+    parent_events: Vec<Event>,
+    succ_off: Vec<u32>,
+    succ: Vec<(Event, LtsStateId)>,
     truncated: bool,
 }
 
@@ -50,11 +68,55 @@ impl Lts {
     /// Like [`Lts::explore`] but returns the partial LTS on budget overrun.
     #[must_use]
     pub fn explore_truncated(dfs: &Dfs, max_states: usize) -> Lts {
+        let mut sys = DfsSystem::new(dfs);
+        let graph = engine::explore(&mut sys, max_states);
+        Self::from_graph(graph, &sys)
+    }
+
+    fn from_graph(g: ExploredGraph, sys: &DfsSystem<'_>) -> Lts {
+        let parent_events = g
+            .parents
+            .iter()
+            .map(|&(p, a)| {
+                if p == NO_PARENT {
+                    // arbitrary filler for the root (never read)
+                    Event::Eval(NodeId::from_index(0))
+                } else {
+                    sys.actions[a as usize]
+                }
+            })
+            .collect();
+        let succ = g
+            .succ
+            .iter()
+            .map(|&(a, s)| (sys.actions[a as usize], LtsStateId(s)))
+            .collect();
+        Lts {
+            node_count: sys.dfs.node_count(),
+            stride: g.stride,
+            arena: g.arena,
+            parents: g.parents,
+            parent_events,
+            succ_off: g.succ_off,
+            succ,
+            truncated: g.truncated,
+        }
+    }
+
+    /// The original (pre-engine) explorer: `HashMap<DfsState, _>` dedup with
+    /// cloned keys and a full `enabled_events` scan per state.
+    ///
+    /// Retained as the reference implementation for the engine-equivalence
+    /// property tests and the `state_space_scaling` baseline; use
+    /// [`Lts::explore`] / [`Lts::explore_truncated`] everywhere else.
+    #[must_use]
+    pub fn explore_naive_truncated(dfs: &Dfs, max_states: usize) -> Lts {
         let s0 = DfsState::initial(dfs);
         let mut index: HashMap<DfsState, LtsStateId> = HashMap::new();
         let mut states = vec![s0.clone()];
         let mut edges: Vec<Vec<(Event, LtsStateId)>> = vec![Vec::new()];
-        let mut parents: Vec<Option<(LtsStateId, Event)>> = vec![None];
+        let mut parents: Vec<(u32, u32)> = vec![(NO_PARENT, 0)];
+        let mut parent_events: Vec<Event> = vec![Event::Eval(NodeId::from_index(0))];
         index.insert(s0, LtsStateId(0));
         let mut queue = VecDeque::from([LtsStateId(0)]);
         let mut truncated = false;
@@ -73,7 +135,8 @@ impl Lts {
                         let id = LtsStateId(states.len() as u32);
                         states.push(e.key().clone());
                         edges.push(Vec::new());
-                        parents.push(Some((s, ev)));
+                        parents.push((s.0, 0));
+                        parent_events.push(ev);
                         queue.push_back(id);
                         e.insert(id);
                         id
@@ -83,10 +146,32 @@ impl Lts {
             }
         }
 
+        // pack into the arena representation shared with the engine path
+        let node_count = dfs.node_count();
+        let stride = DfsSystem::stride_for(node_count);
+        let mut arena = Vec::with_capacity(states.len() * stride);
+        let mut buf = vec![0u64; stride];
+        for st in &states {
+            buf.iter_mut().for_each(|w| *w = 0);
+            DfsSystem::encode(st, node_count, &mut buf);
+            arena.extend_from_slice(&buf);
+        }
+        let mut succ_off = Vec::with_capacity(states.len() + 1);
+        let mut succ = Vec::new();
+        succ_off.push(0u32);
+        for row in &edges {
+            succ.extend_from_slice(row);
+            succ_off.push(succ.len() as u32);
+        }
+
         Lts {
-            states,
-            edges,
+            node_count,
+            stride,
+            arena,
             parents,
+            parent_events,
+            succ_off,
+            succ,
             truncated,
         }
     }
@@ -94,13 +179,13 @@ impl Lts {
     /// Number of reachable states.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.parents.len()
     }
 
     /// Always false (the initial state exists); pairs with [`Lts::len`].
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.parents.is_empty()
     }
 
     /// Was exploration cut short by the state budget?
@@ -115,31 +200,45 @@ impl Lts {
         LtsStateId(0)
     }
 
-    /// The state snapshot for `id`.
+    /// The state snapshot for `id`, decoded from the arena.
     #[must_use]
-    pub fn state(&self, id: LtsStateId) -> &DfsState {
-        &self.states[id.index()]
+    pub fn state(&self, id: LtsStateId) -> DfsState {
+        let mut out = DfsState {
+            active: vec![false; self.node_count],
+            value: vec![TokenValue::True; self.node_count],
+        };
+        self.fill_state(id, &mut out);
+        out
+    }
+
+    /// Decodes the state `id` into `out` without allocating. `out` must come
+    /// from the same model (same node count).
+    pub fn fill_state(&self, id: LtsStateId, out: &mut DfsState) {
+        assert_eq!(out.active.len(), self.node_count, "state buffer mismatch");
+        let words = &self.arena[id.index() * self.stride..(id.index() + 1) * self.stride];
+        DfsSystem::decode_words(words, self.node_count, out);
     }
 
     /// Iterates over all state ids.
     pub fn states(&self) -> impl Iterator<Item = LtsStateId> {
-        (0..self.states.len() as u32).map(LtsStateId)
+        (0..self.parents.len() as u32).map(LtsStateId)
     }
 
     /// Outgoing labelled edges of `id`.
     #[must_use]
     pub fn successors(&self, id: LtsStateId) -> &[(Event, LtsStateId)] {
-        &self.edges[id.index()]
+        let i = id.index();
+        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Event sequence from the initial state to `id`.
     #[must_use]
     pub fn trace_to(&self, id: LtsStateId) -> Vec<Event> {
         let mut rev = Vec::new();
-        let mut cur = id;
-        while let Some((prev, ev)) = self.parents[cur.index()] {
-            rev.push(ev);
-            cur = prev;
+        let mut cur = id.index();
+        while self.parents[cur].0 != NO_PARENT {
+            rev.push(self.parent_events[cur]);
+            cur = self.parents[cur].0 as usize;
         }
         rev.reverse();
         rev
@@ -153,9 +252,218 @@ impl Lts {
             .collect()
     }
 
-    /// Finds a state satisfying `pred`, in BFS (shortest-trace) order.
+    /// Finds a state satisfying `pred`, in BFS (shortest-trace) order,
+    /// decoding into a single reused buffer.
     pub fn find_state(&self, mut pred: impl FnMut(&DfsState) -> bool) -> Option<LtsStateId> {
-        self.states().find(|&s| pred(self.state(s)))
+        let mut scratch = DfsState {
+            active: vec![false; self.node_count],
+            value: vec![TokenValue::True; self.node_count],
+        };
+        self.states().find(|&s| {
+            self.fill_state(s, &mut scratch);
+            pred(&scratch)
+        })
+    }
+}
+
+/// Maximum actions a node can offer, by kind (see the action layout below).
+fn action_slots(kind: NodeKind) -> u32 {
+    match kind {
+        NodeKind::Logic | NodeKind::Register => 2,
+        NodeKind::Control | NodeKind::Push | NodeKind::Pop => 3,
+    }
+}
+
+/// [`TransitionSystem`] view of a DFS model for the shared engine.
+///
+/// States are two bit-planes over the nodes: plane 0 holds `active`
+/// (`C`/`M`), plane 1 holds "marked with a False token" (zero whenever the
+/// node is inactive, matching [`DfsState`]'s canonicalisation). The action
+/// table enumerates, per node and in [`Dfs::enabled_events`] order, every
+/// event the node can ever offer:
+///
+/// * logic — `Eval`, `Reset`;
+/// * plain register — `Mark(True)`, `Unmark`;
+/// * control/push/pop — `Mark(True)`, `Mark(False)`, `Unmark`.
+///
+/// The affected map is the syntactic dependency closure of the semantics
+/// (eqs. (1)–(5)): the events of node `m` are re-checked after an event of
+/// node `n` iff `n ∈ {m} ∪ preds(m) ∪ ?m ∪ m? ∪ guards(m)`. The
+/// engine-equivalence property tests pin this closure against the naive
+/// full-scan explorer.
+struct DfsSystem<'a> {
+    dfs: &'a Dfs,
+    actions: Vec<Event>,
+    /// First action index of each node.
+    base: Vec<u32>,
+    /// Per node: the nodes whose events must be re-checked after it changes.
+    dependents: Vec<Vec<u32>>,
+    scratch: DfsState,
+    evbuf: Vec<Event>,
+}
+
+impl<'a> DfsSystem<'a> {
+    fn new(dfs: &'a Dfs) -> Self {
+        let n = dfs.node_count();
+        let mut actions = Vec::new();
+        let mut base = Vec::with_capacity(n);
+        for node in dfs.nodes() {
+            base.push(actions.len() as u32);
+            match dfs.kind(node) {
+                NodeKind::Logic => {
+                    actions.push(Event::Eval(node));
+                    actions.push(Event::Reset(node));
+                }
+                NodeKind::Register => {
+                    actions.push(Event::Mark(node, TokenValue::True));
+                    actions.push(Event::Unmark(node));
+                }
+                NodeKind::Control | NodeKind::Push | NodeKind::Pop => {
+                    actions.push(Event::Mark(node, TokenValue::True));
+                    actions.push(Event::Mark(node, TokenValue::False));
+                    actions.push(Event::Unmark(node));
+                }
+            }
+        }
+
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for m in dfs.nodes() {
+            let mut deps: Vec<NodeId> = vec![m];
+            deps.extend(dfs.preds(m).iter().map(|e| e.node));
+            deps.extend(dfs.r_preset(m).iter().map(|r| r.node));
+            deps.extend(dfs.r_postset(m).iter().map(|r| r.node));
+            deps.extend(dfs.guards(m).iter().map(|r| r.node));
+            deps.sort_unstable();
+            deps.dedup();
+            for d in deps {
+                dependents[d.index()].push(m.index() as u32);
+            }
+        }
+        for row in &mut dependents {
+            row.sort_unstable();
+            row.dedup();
+        }
+
+        DfsSystem {
+            dfs,
+            actions,
+            base,
+            dependents,
+            scratch: DfsState::initial(dfs),
+            evbuf: Vec::new(),
+        }
+    }
+
+    fn stride_for(node_count: usize) -> usize {
+        (node_count.div_ceil(64) * 2).max(1)
+    }
+
+    fn plane_words(node_count: usize) -> usize {
+        node_count.div_ceil(64)
+    }
+
+    /// Packs `state` into `out` (pre-zeroed, `stride_for` words).
+    fn encode(state: &DfsState, node_count: usize, out: &mut [u64]) {
+        let w = Self::plane_words(node_count);
+        for i in 0..node_count {
+            if state.active[i] {
+                set_bit(&mut out[..w], i, true);
+                if state.value[i] == TokenValue::False {
+                    set_bit(&mut out[w..], i, true);
+                }
+            }
+        }
+    }
+
+    fn decode_words(words: &[u64], node_count: usize, out: &mut DfsState) {
+        let w = Self::plane_words(node_count);
+        for i in 0..node_count {
+            out.active[i] = get_bit(&words[..w], i);
+            out.value[i] = if w > 0 && get_bit(&words[w..], i) {
+                TokenValue::False
+            } else {
+                TokenValue::True
+            };
+        }
+    }
+
+    /// The action id of `ev` (which must be one of `ev.node()`'s slots).
+    fn action_id(&self, ev: Event) -> usize {
+        let node = ev.node();
+        let offset = match ev {
+            Event::Eval(_) => 0,
+            Event::Reset(_) => 1,
+            Event::Mark(n, v) => {
+                if self.dfs.kind(n) == NodeKind::Register || v == TokenValue::True {
+                    0
+                } else {
+                    1
+                }
+            }
+            Event::Unmark(n) => {
+                if self.dfs.kind(n) == NodeKind::Register {
+                    1
+                } else {
+                    2
+                }
+            }
+        };
+        self.base[node.index()] as usize + offset
+    }
+}
+
+impl TransitionSystem for DfsSystem<'_> {
+    fn state_words(&self) -> usize {
+        Self::stride_for(self.dfs.node_count())
+    }
+
+    fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    fn write_initial(&mut self, out: &mut [u64]) {
+        let s0 = DfsState::initial(self.dfs);
+        Self::encode(&s0, self.dfs.node_count(), out);
+    }
+
+    fn write_enabled_full(&mut self, state: &[u64], out: &mut [u64]) {
+        Self::decode_words(state, self.dfs.node_count(), &mut self.scratch);
+        for ev in self.dfs.enabled_events(&self.scratch) {
+            set_bit(out, self.action_id(ev), true);
+        }
+    }
+
+    fn apply(&mut self, a: usize, state: &[u64], out: &mut [u64]) {
+        out.copy_from_slice(state);
+        let w = Self::plane_words(self.dfs.node_count());
+        match self.actions[a] {
+            Event::Eval(n) => set_bit(&mut out[..w], n.index(), true),
+            Event::Mark(n, v) => {
+                set_bit(&mut out[..w], n.index(), true);
+                set_bit(&mut out[w..], n.index(), v == TokenValue::False);
+            }
+            Event::Reset(n) | Event::Unmark(n) => {
+                set_bit(&mut out[..w], n.index(), false);
+                set_bit(&mut out[w..], n.index(), false);
+            }
+        }
+    }
+
+    fn update_enabled(&mut self, a: usize, state: &[u64], enabled: &mut [u64]) {
+        Self::decode_words(state, self.dfs.node_count(), &mut self.scratch);
+        let node = self.actions[a].node();
+        for &mi in &self.dependents[node.index()] {
+            let m = NodeId::from_index(mi as usize);
+            let b = self.base[mi as usize] as usize;
+            for slot in 0..action_slots(self.dfs.kind(m)) {
+                set_bit(enabled, b + slot as usize, false);
+            }
+            self.evbuf.clear();
+            self.dfs.node_events(&self.scratch, m, &mut self.evbuf);
+            for i in 0..self.evbuf.len() {
+                set_bit(enabled, self.action_id(self.evbuf[i]), true);
+            }
+        }
     }
 }
 
@@ -205,7 +513,7 @@ mod tests {
             for ev in lts.trace_to(s) {
                 st = dfs.apply(&st, ev);
             }
-            assert_eq!(&st, lts.state(s));
+            assert_eq!(st, lts.state(s));
         }
     }
 
@@ -240,5 +548,22 @@ mod tests {
         assert!(!lts.deadlocks().is_empty());
         let mismatch = lts.find_state(|s| dfs.has_control_mismatch(s));
         assert!(mismatch.is_some());
+    }
+
+    /// The engine-backed explorer is indistinguishable from the naive
+    /// reference: same numbering, edges, traces and truncation behaviour.
+    #[test]
+    fn engine_matches_naive_reference() {
+        let dfs = ring();
+        for budget in [usize::MAX, 5, 2] {
+            let a = Lts::explore_truncated(&dfs, budget);
+            let b = Lts::explore_naive_truncated(&dfs, budget);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.is_truncated(), b.is_truncated());
+            for (sa, sb) in a.states().zip(b.states()) {
+                assert_eq!(a.state(sa), b.state(sb));
+                assert_eq!(a.successors(sa), b.successors(sb));
+            }
+        }
     }
 }

@@ -6,8 +6,7 @@
 //! algorithms for background.
 
 use super::mcr::McrSolution;
-use super::EventGraph;
-use crate::DfsError;
+use super::{EventGraph, McrError};
 
 const EPS: f64 = 1e-9;
 
@@ -15,27 +14,33 @@ const EPS: f64 = 1e-9;
 ///
 /// # Errors
 ///
-/// [`DfsError::TokenFreeCycle`] when a token-free positive-delay cycle makes
+/// [`McrError::TokenFreeCycle`] when a token-free positive-delay cycle makes
 /// the period infinite.
-pub fn howard_mcr(g: &EventGraph) -> Result<McrSolution, DfsError> {
+pub fn howard_mcr(g: &EventGraph) -> Result<McrSolution, McrError> {
     let n = g.vertices.len();
-    // adjacency of the cyclic core: iteratively drop vertices without
-    // outgoing arcs — they cannot lie on cycles
-    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n]; // arc indices
+    let out = g.out_adjacency(); // shared, cached arc-index adjacency
+                                 // Restrict to the cyclic core: peel vertices with no arc into a live
+                                 // vertex. A worklist keyed on the live out-degree makes this O(V + E)
+                                 // instead of rescanning every vertex per dropped one: when v dies, only
+                                 // its in-neighbours can lose their last live successor.
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n]; // arc indices
     for (i, a) in g.arcs.iter().enumerate() {
-        out[a.from].push(i);
+        incoming[a.to].push(i);
     }
     let mut alive = vec![true; n];
-    loop {
-        let mut dropped = false;
-        for v in 0..n {
-            if alive[v] && out[v].iter().all(|&ai| !alive[g.arcs[ai].to]) {
-                alive[v] = false;
-                dropped = true;
+    let mut live_out: Vec<usize> = out.iter().map(Vec::len).collect();
+    let mut work: Vec<usize> = (0..n).filter(|&v| live_out[v] == 0).collect();
+    while let Some(v) = work.pop() {
+        alive[v] = false;
+        for &ai in &incoming[v] {
+            let u = g.arcs[ai].from;
+            if alive[u] {
+                live_out[u] -= 1;
+                if live_out[u] == 0 {
+                    alive[u] = false;
+                    work.push(u);
+                }
             }
-        }
-        if !dropped {
-            break;
         }
     }
     if !alive.iter().any(|&a| a) {
@@ -112,7 +117,7 @@ fn evaluate_policy(
     policy: &[usize],
     lambda: &mut [f64],
     value: &mut [f64],
-) -> Result<(), DfsError> {
+) -> Result<(), McrError> {
     let n = alive.len();
     let mut visited = vec![0u32; n]; // 0 = unvisited, else pass id
     let mut pass = 0u32;
@@ -142,8 +147,8 @@ fn evaluate_policy(
                 t += u64::from(a.tokens);
             }
             if t == 0 && w > 0.0 {
-                return Err(DfsError::TokenFreeCycle {
-                    cycle: cycle.iter().map(|u| format!("v{u}")).collect(),
+                return Err(McrError::TokenFreeCycle {
+                    vertices: cycle.to_vec(),
                 });
             }
             // t == 0 with w <= 0 is a zero/zero cycle: treat as ratio 0
@@ -223,15 +228,14 @@ mod tests {
     use crate::NodeId;
 
     fn graph(n: usize, arcs: &[(usize, usize, f64, u32)]) -> EventGraph {
-        EventGraph {
-            vertices: (0..n)
+        EventGraph::new(
+            (0..n)
                 .map(|i| EventVertex {
                     node: NodeId::from_index(i / 2),
                     plus: i % 2 == 0,
                 })
                 .collect(),
-            arcs: arcs
-                .iter()
+            arcs.iter()
                 .map(|&(from, to, weight, tokens)| EventArc {
                     from,
                     to,
@@ -239,7 +243,7 @@ mod tests {
                     tokens,
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

@@ -10,8 +10,7 @@
 //! model has a structural deadlock; they are detected first via the
 //! strongly-connected components of the zero-token subgraph.
 
-use super::EventGraph;
-use crate::DfsError;
+use super::{EventGraph, McrError};
 
 /// Result of the MCR computation.
 #[derive(Debug, Clone)]
@@ -26,13 +25,13 @@ pub struct McrSolution {
 ///
 /// # Errors
 ///
-/// [`DfsError::TokenFreeCycle`] when a token-free positive-delay cycle
-/// exists (infinite period).
-pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, DfsError> {
-    if let Some(cycle) = token_free_cycle(g) {
-        return Err(DfsError::TokenFreeCycle {
-            cycle: cycle.iter().map(|v| format!("v{v}")).collect(),
-        });
+/// [`McrError::TokenFreeCycle`] when a token-free positive-delay cycle
+/// exists (infinite period). Render it with
+/// [`McrError::into_dfs_error`](super::McrError::into_dfs_error) to get
+/// real event names.
+pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, McrError> {
+    if let Some(vertices) = token_free_cycle(g) {
+        return Err(McrError::TokenFreeCycle { vertices });
     }
     let n = g.vertices.len();
     if n == 0 || g.arcs.is_empty() {
@@ -130,12 +129,16 @@ fn has_positive_cycle(g: &EventGraph, lambda: f64) -> Option<Vec<usize>> {
 
 /// Finds a cycle with zero total tokens and positive total weight, if any.
 fn token_free_cycle(g: &EventGraph) -> Option<Vec<usize>> {
-    // SCCs of the zero-token subgraph (Tarjan, iterative)
+    // SCCs of the zero-token subgraph (Tarjan, iterative), derived from the
+    // graph's cached forward adjacency
     let n = g.vertices.len();
     let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for a in &g.arcs {
-        if a.tokens == 0 {
-            adj[a.from].push((a.to, a.weight));
+    for (v, row) in g.out_adjacency().iter().enumerate() {
+        for &ai in row {
+            let a = &g.arcs[ai];
+            if a.tokens == 0 {
+                adj[v].push((a.to, a.weight));
+            }
         }
     }
     let scc = tarjan_scc(&adj);
@@ -266,10 +269,11 @@ fn tarjan_scc(adj: &[Vec<(usize, f64)>]) -> Vec<usize> {
 pub fn brute_force_mcr(g: &EventGraph, max_len: usize) -> Option<f64> {
     let n = g.vertices.len();
     let mut best: Option<f64> = None;
-    let mut adj: Vec<Vec<&super::EventArc>> = vec![Vec::new(); n];
-    for a in &g.arcs {
-        adj[a.from].push(a);
-    }
+    let adj: Vec<Vec<&super::EventArc>> = g
+        .out_adjacency()
+        .iter()
+        .map(|row| row.iter().map(|&ai| &g.arcs[ai]).collect())
+        .collect();
     // DFS from each vertex, only visiting vertices >= start to avoid
     // duplicate cycles
     #[allow(clippy::too_many_arguments)] // recursive walker: explicit state beats a context struct here
@@ -330,15 +334,14 @@ mod tests {
     use crate::NodeId;
 
     fn graph(n: usize, arcs: &[(usize, usize, f64, u32)]) -> EventGraph {
-        EventGraph {
-            vertices: (0..n)
+        EventGraph::new(
+            (0..n)
                 .map(|i| EventVertex {
                     node: NodeId::from_index(i / 2),
                     plus: i % 2 == 0,
                 })
                 .collect(),
-            arcs: arcs
-                .iter()
+            arcs.iter()
                 .map(|&(from, to, weight, tokens)| EventArc {
                     from,
                     to,
@@ -346,7 +349,7 @@ mod tests {
                     tokens,
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod mcr;
 use crate::graph::Dfs;
 use crate::node::{NodeId, NodeKind};
 use crate::DfsError;
+use std::sync::OnceLock;
 
 /// One vertex of the event graph: the `+` or `-` event of a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,20 +60,63 @@ pub struct EventArc {
 }
 
 /// The event-precedence graph of a DFS model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct EventGraph {
     /// Vertices: `2 * node_count`, `+` events first then `-` events is NOT
     /// the layout — vertex `2i` is `node i +`, vertex `2i+1` is `node i -`.
     pub vertices: Vec<EventVertex>,
     /// All dependency arcs.
     pub arcs: Vec<EventArc>,
+    /// Lazily built forward adjacency (arc indices per source vertex),
+    /// shared by every MCR solver instead of being rebuilt per call. Tagged
+    /// with the arc count it was built from so stale use is caught.
+    out_cache: OnceLock<(usize, Vec<Vec<usize>>)>,
 }
 
 impl EventGraph {
+    /// Builds a graph from explicit vertex and arc lists (mostly for tests;
+    /// models use [`EventGraph::build`]).
+    #[must_use]
+    pub fn new(vertices: Vec<EventVertex>, arcs: Vec<EventArc>) -> Self {
+        EventGraph {
+            vertices,
+            arcs,
+            out_cache: OnceLock::new(),
+        }
+    }
+
     /// Vertex index of node `n`'s `+` or `-` event.
     #[must_use]
     pub fn vertex(n: NodeId, plus: bool) -> usize {
         n.index() * 2 + usize::from(!plus)
+    }
+
+    /// Forward adjacency: for each vertex, the indices of its outgoing arcs.
+    ///
+    /// Built once on first use and cached — `howard_mcr`,
+    /// `maximum_cycle_ratio` and `brute_force_mcr` all reuse it. Do not
+    /// mutate `arcs` after the first call; the construction API builds the
+    /// arc list up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arcs` grew or shrank since the cache was built (the
+    /// mutate-after-analysis misuse a `OnceLock` cache cannot serve).
+    #[must_use]
+    pub fn out_adjacency(&self) -> &[Vec<usize>] {
+        let (built_arcs, adj) = self.out_cache.get_or_init(|| {
+            let mut out = vec![Vec::new(); self.vertices.len()];
+            for (i, a) in self.arcs.iter().enumerate() {
+                out[a.from].push(i);
+            }
+            (self.arcs.len(), out)
+        });
+        assert_eq!(
+            *built_arcs,
+            self.arcs.len(),
+            "EventGraph::arcs was mutated after the adjacency cache was built"
+        );
+        adj
     }
 
     /// Builds the event graph of `dfs`.
@@ -152,7 +196,56 @@ impl EventGraph {
                 }
             }
         }
-        EventGraph { vertices, arcs }
+        EventGraph::new(vertices, arcs)
+    }
+}
+
+/// Error of the raw MCR solvers ([`mcr::maximum_cycle_ratio`],
+/// [`howard::howard_mcr`]).
+///
+/// Carries bare event-graph *vertex indices*: the solvers know nothing about
+/// node names, and eagerly formatting placeholder labels (`"v17"`) on a path
+/// that callers usually `?`-convert anyway was wasted work. Rendering
+/// happens lazily at the boundary — [`analyse`] maps the indices to real
+/// node event names (`"r1+"`) via the graph; the `From` fallback keeps the
+/// `v{index}` form for contexts without a graph at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McrError {
+    /// A cycle with zero total tokens and positive total delay: the model
+    /// cannot make progress around it (infinite period).
+    TokenFreeCycle {
+        /// Vertex indices on the offending cycle, in order.
+        vertices: Vec<usize>,
+    },
+}
+
+impl McrError {
+    /// Renders the error against the model it came from, naming the events
+    /// on the cycle (`"r1+"`, `"f-"`).
+    #[must_use]
+    pub fn into_dfs_error(self, dfs: &Dfs, g: &EventGraph) -> DfsError {
+        match self {
+            McrError::TokenFreeCycle { vertices } => DfsError::TokenFreeCycle {
+                cycle: vertices
+                    .iter()
+                    .map(|&v| {
+                        let ev = &g.vertices[v];
+                        let sign = if ev.plus { '+' } else { '-' };
+                        format!("{}{sign}", dfs.node(ev.node).name)
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+impl From<McrError> for DfsError {
+    fn from(e: McrError) -> Self {
+        match e {
+            McrError::TokenFreeCycle { vertices } => DfsError::TokenFreeCycle {
+                cycle: vertices.iter().map(|v| format!("v{v}")).collect(),
+            },
+        }
     }
 }
 
@@ -205,7 +298,7 @@ pub struct PerfReport {
 /// e.g. a ring with fewer than three registers, or a token-free loop).
 pub fn analyse(dfs: &Dfs) -> Result<PerfReport, DfsError> {
     let g = EventGraph::build(dfs);
-    let sol = mcr::maximum_cycle_ratio(&g)?;
+    let sol = mcr::maximum_cycle_ratio(&g).map_err(|e| e.into_dfs_error(dfs, &g))?;
     let cycle = describe_cycle(dfs, &g, &sol.cycle);
     Ok(PerfReport {
         period: sol.ratio,

@@ -162,7 +162,7 @@ impl Dfs {
     }
 
     /// Appends the events of node `n` enabled in `s` to `out`.
-    fn node_events(&self, s: &DfsState, n: NodeId, out: &mut Vec<Event>) {
+    pub(crate) fn node_events(&self, s: &DfsState, n: NodeId, out: &mut Vec<Event>) {
         match self.kind(n) {
             NodeKind::Logic => {
                 if self.can_eval(s, n) {

@@ -32,7 +32,7 @@ pub fn find_deadlocks(space: &StateSpace) -> Vec<Deadlock> {
         .filter(|&s| space.successors(s).is_empty())
         .map(|s| Deadlock {
             state: s,
-            marking: space.marking(s).clone(),
+            marking: space.marking(s),
             trace: space.trace_to(s),
         })
         .collect()
@@ -70,6 +70,10 @@ pub fn find_persistence_violations(
     space: &StateSpace,
     mut allowed_conflicts: impl FnMut(TransitionId, TransitionId) -> bool,
 ) -> Vec<PersistenceViolation> {
+    // word-level enabledness via the incidence index: the check runs over
+    // every ordered pair of concurrently enabled transitions, so avoiding a
+    // Marking materialisation per probe matters on large spaces
+    let inc = crate::engine::Incidence::from_net(net);
     let mut out = Vec::new();
     for s in space.states() {
         let succs = space.successors(s);
@@ -81,7 +85,7 @@ pub fn find_persistence_violations(
                 if enabled == disabler {
                     continue;
                 }
-                if net.is_enabled(enabled, space.marking(after)) {
+                if inc.is_enabled(enabled, space.marking_words(after)) {
                     continue;
                 }
                 if allowed_conflicts(enabled, disabler) {
@@ -111,9 +115,8 @@ pub fn check_complementary_pairs(
     pairs: &[(crate::PlaceId, crate::PlaceId)],
 ) -> Option<(StateId, usize)> {
     for s in space.states() {
-        let m = space.marking(s);
         for (i, &(p0, p1)) in pairs.iter().enumerate() {
-            if m.is_marked(p0) == m.is_marked(p1) {
+            if space.is_marked(s, p0) == space.is_marked(s, p1) {
                 return Some((s, i));
             }
         }

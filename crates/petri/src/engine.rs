@@ -1,0 +1,667 @@
+//! Shared incremental state-space engine.
+//!
+//! Both explicit-state explorers of the workspace — Petri-net reachability
+//! ([`crate::reachability`]) and the direct DFS semantics (`dfs-core::Lts`)
+//! — are breadth-first fixpoints over a successor relation. This module
+//! factors that loop into one allocation-free driver working on *word-packed*
+//! states:
+//!
+//! * **Arena-interned states.** Every state is a fixed-width `u64` bitset
+//!   slice stored once in a dense arena; the dedup index is an open-addressing
+//!   table keyed by a hash of the slice, so no per-state heap allocation or
+//!   cloned key survives the hot loop.
+//! * **Event-driven enabledness.** A [`TransitionSystem`] reports, per fired
+//!   action, which actions must be *re-checked*; all others inherit their
+//!   status from the predecessor state. For a Petri net this is the
+//!   place→consumer incidence index ([`Incidence`]): after firing `t`, only
+//!   transitions whose preset/read/inhibition set intersects the places
+//!   changed by `t` are re-tested — event-driven exploration instead of an
+//!   O(|T|) scan per state.
+//! * **Reusable scratch buffers.** Successor states and enabled sets are
+//!   composed in scratch slices owned by the driver and copied into the arena
+//!   only when the state turns out to be new.
+//!
+//! Exploration order, state numbering and truncation semantics are identical
+//! to the naive reference explorers retained for cross-checking
+//! ([`crate::reachability::explore_naive_truncated`]), which the property
+//! tests exploit.
+
+use crate::{PetriNet, TransitionId};
+
+/// Sentinel parent id of the initial state in [`ExploredGraph::parents`].
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Reads bit `i` of a word-packed bitset.
+#[must_use]
+#[inline]
+pub fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Writes bit `i` of a word-packed bitset.
+#[inline]
+pub fn set_bit(words: &mut [u64], i: usize, v: bool) {
+    let mask = 1u64 << (i % 64);
+    if v {
+        words[i / 64] |= mask;
+    } else {
+        words[i / 64] &= !mask;
+    }
+}
+
+/// A transition system whose states are fixed-width `u64` bitset slices.
+///
+/// All slices handed to the methods have length `state_words().max(1)`
+/// (states) or `action_count().div_ceil(64).max(1)` (enabled sets); unused
+/// high bits are zero and must stay zero.
+///
+/// Methods take `&mut self` so implementations can keep decode/scratch
+/// buffers without interior mutability.
+pub trait TransitionSystem {
+    /// Number of `u64` words a state occupies.
+    fn state_words(&self) -> usize;
+
+    /// Total number of actions (enabled-set width in bits).
+    fn action_count(&self) -> usize;
+
+    /// Writes the initial state into `out` (pre-zeroed).
+    fn write_initial(&mut self, out: &mut [u64]);
+
+    /// Computes the enabled set of `state` from scratch (pre-zeroed `out`).
+    /// Called once, for the initial state.
+    fn write_enabled_full(&mut self, state: &[u64], out: &mut [u64]);
+
+    /// Applies the (enabled) action `a` to `state`, writing the successor
+    /// into `out`. `out` holds arbitrary garbage on entry.
+    fn apply(&mut self, a: usize, state: &[u64], out: &mut [u64]);
+
+    /// Incrementally fixes up `enabled` — pre-seeded with the predecessor's
+    /// enabled set — after action `a` produced `state`. Only actions whose
+    /// conditions intersect the variables changed by `a` need re-checking.
+    fn update_enabled(&mut self, a: usize, state: &[u64], enabled: &mut [u64]);
+}
+
+/// The reachable graph produced by [`explore`]: arena-packed states plus
+/// parent links and a CSR successor list, all keyed by dense state ids in
+/// BFS discovery order (0 = initial state).
+#[derive(Debug, Clone)]
+pub struct ExploredGraph {
+    /// Words per state in `arena` (≥ 1 even for zero-width states).
+    pub stride: usize,
+    /// State bitsets, concatenated: state `i` is `arena[i*stride..(i+1)*stride]`.
+    pub arena: Vec<u64>,
+    /// Per state: `(parent, action)`; the initial state has parent
+    /// [`NO_PARENT`].
+    pub parents: Vec<(u32, u32)>,
+    /// CSR offsets into `succ`, one entry per state plus a final sentinel.
+    pub succ_off: Vec<u32>,
+    /// Outgoing edges `(action, successor)` in firing order.
+    pub succ: Vec<(u32, u32)>,
+    /// Whether exploration stopped early on the state budget.
+    pub truncated: bool,
+}
+
+impl ExploredGraph {
+    /// Number of states discovered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// `true` when no state was stored (never happens: the initial state
+    /// always exists); kept for `len`/`is_empty` pairing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// The bitset words of state `i`.
+    #[must_use]
+    pub fn state_words(&self, i: usize) -> &[u64] {
+        &self.arena[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Outgoing edges `(action, successor)` of state `i`.
+    #[must_use]
+    pub fn successors(&self, i: usize) -> &[(u32, u32)] {
+        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// Action sequence from the initial state to state `i`.
+    #[must_use]
+    pub fn trace_to(&self, i: usize) -> Vec<u32> {
+        let mut rev = Vec::new();
+        let mut cur = i;
+        while self.parents[cur].0 != NO_PARENT {
+            let (p, a) = self.parents[cur];
+            rev.push(a);
+            cur = p as usize;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Multiplicative word mixer (splitmix-style) over a state slice.
+#[inline]
+fn hash_words(words: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in words {
+        h ^= w.wrapping_mul(0xA24B_AED4_963E_E407);
+        h = h.rotate_left(29).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    }
+    h ^ (h >> 32)
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Open-addressing dedup table over arena-resident states. Slots store state
+/// ids; collisions are resolved by comparing the actual arena slices, so the
+/// compact hash never mis-identifies a state.
+struct DedupTable {
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl DedupTable {
+    fn new() -> Self {
+        let cap = 1024;
+        DedupTable {
+            slots: vec![EMPTY_SLOT; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    fn find(&self, hash: u64, cand: &[u64], arena: &[u64], stride: usize) -> Option<u32> {
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            let s = slot as usize * stride;
+            if &arena[s..s + stride] == cand {
+                return Some(slot);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert_raw(&mut self, hash: u64, id: u32) {
+        let mut i = (hash as usize) & self.mask;
+        while self.slots[i] != EMPTY_SLOT {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = id;
+    }
+
+    /// Inserts a freshly appended state, growing at 50% load (cheap probes
+    /// beat memory here: slots are 4 bytes). State ids are dense, so growth
+    /// rehashes by re-reading the arena.
+    fn insert(&mut self, hash: u64, id: u32, arena: &[u64], stride: usize) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            let cap = self.slots.len() * 2;
+            self.slots = vec![EMPTY_SLOT; cap];
+            self.mask = cap - 1;
+            for prev in 0..self.len as u32 {
+                let s = prev as usize * stride;
+                self.insert_raw(hash_words(&arena[s..s + stride]), prev);
+            }
+        }
+        self.insert_raw(hash, id);
+        self.len += 1;
+    }
+}
+
+/// Breadth-first exploration of `sys` up to `max_states` distinct states.
+///
+/// Truncation mirrors the historical explorers exactly: when storing state
+/// number `max_states` would be required, exploration stops immediately —
+/// successors of the state being expanded that were found *before* the
+/// overflow stay recorded, the overflowing edge does not.
+pub fn explore<S: TransitionSystem>(sys: &mut S, max_states: usize) -> ExploredGraph {
+    let stride = sys.state_words().max(1);
+    let astride = sys.action_count().div_ceil(64).max(1);
+
+    let mut arena = vec![0u64; stride];
+    sys.write_initial(&mut arena[..stride]);
+    let mut en_arena = vec![0u64; astride];
+    {
+        // split borrows: arena immutable, en_arena mutable
+        let (state, enabled) = (&arena[..stride], &mut en_arena[..astride]);
+        sys.write_enabled_full(state, enabled);
+    }
+
+    let mut parents: Vec<(u32, u32)> = vec![(NO_PARENT, 0)];
+    let mut succ_off: Vec<u32> = vec![0];
+    let mut succ: Vec<(u32, u32)> = Vec::new();
+    let mut table = DedupTable::new();
+    table.insert(hash_words(&arena[..stride]), 0, &arena, stride);
+
+    let mut scratch = vec![0u64; stride];
+    let mut en_scratch = vec![0u64; astride];
+    let mut truncated = false;
+
+    // States are discovered in BFS order, so a cursor over dense ids is the
+    // queue: everything behind it is expanded, everything ahead is frontier.
+    let mut cursor = 0usize;
+    'bfs: while cursor < parents.len() {
+        let s = cursor;
+        cursor += 1;
+        let en_base = s * astride;
+        for wi in 0..astride {
+            let mut bits = en_arena[en_base + wi];
+            while bits != 0 {
+                let a = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                sys.apply(a, &arena[s * stride..(s + 1) * stride], &mut scratch);
+                let hash = hash_words(&scratch);
+                let id = match table.find(hash, &scratch, &arena, stride) {
+                    Some(id) => id,
+                    None => {
+                        if parents.len() >= max_states {
+                            truncated = true;
+                            break 'bfs;
+                        }
+                        let id = parents.len() as u32;
+                        arena.extend_from_slice(&scratch);
+                        en_scratch.copy_from_slice(&en_arena[en_base..en_base + astride]);
+                        sys.update_enabled(a, &scratch, &mut en_scratch);
+                        en_arena.extend_from_slice(&en_scratch);
+                        parents.push((s as u32, a as u32));
+                        table.insert(hash, id, &arena, stride);
+                        id
+                    }
+                };
+                succ.push((a as u32, id));
+            }
+        }
+        succ_off.push(succ.len() as u32);
+    }
+    // close offsets of states that were never (or only partially) expanded
+    while succ_off.len() < parents.len() + 1 {
+        succ_off.push(succ.len() as u32);
+    }
+
+    ExploredGraph {
+        stride,
+        arena,
+        parents,
+        succ_off,
+        succ,
+        truncated,
+    }
+}
+
+/// Sparse masks per transition, CSR-packed: `data[off[t]..off[t+1]]` holds
+/// `(word index, bit mask)` pairs.
+#[derive(Debug, Clone)]
+struct MaskCsr {
+    off: Vec<u32>,
+    data: Vec<(u32, u64)>,
+}
+
+impl MaskCsr {
+    fn builder(rows: usize) -> MaskCsrBuilder {
+        MaskCsrBuilder {
+            rows: vec![Vec::new(); rows],
+        }
+    }
+
+    #[inline]
+    fn row(&self, t: usize) -> &[(u32, u64)] {
+        &self.data[self.off[t] as usize..self.off[t + 1] as usize]
+    }
+}
+
+struct MaskCsrBuilder {
+    rows: Vec<Vec<(u32, u64)>>,
+}
+
+impl MaskCsrBuilder {
+    /// Adds place index `p` to row `t`, merging into an existing word mask.
+    fn add(&mut self, t: usize, p: usize) {
+        let (w, m) = ((p / 64) as u32, 1u64 << (p % 64));
+        let row = &mut self.rows[t];
+        match row.iter_mut().find(|(rw, _)| *rw == w) {
+            Some((_, rm)) => *rm |= m,
+            None => row.push((w, m)),
+        }
+    }
+
+    fn finish(self) -> MaskCsr {
+        let mut off = Vec::with_capacity(self.rows.len() + 1);
+        let mut data = Vec::new();
+        off.push(0);
+        for mut row in self.rows {
+            row.sort_unstable_by_key(|&(w, _)| w);
+            data.extend_from_slice(&row);
+            off.push(data.len() as u32);
+        }
+        MaskCsr { off, data }
+    }
+}
+
+/// Precomputed place→transition incidence of a [`PetriNet`], specialised for
+/// word-packed markings.
+///
+/// Per transition it stores the enabledness condition as word masks —
+/// `need` (consumed ∪ read places, must all be marked) and `forbid`
+/// (produced-but-not-consumed places, must all be empty, the 1-safety rule)
+/// — the firing effect (`clear`/`set` masks), and the *affected set*: the
+/// transitions whose enabledness can change when this transition fires,
+/// i.e. those whose `need`/`forbid` places intersect this transition's
+/// changed places. The affected sets are what makes exploration
+/// event-driven.
+#[derive(Debug, Clone)]
+pub struct Incidence {
+    words: usize,
+    transitions: usize,
+    need: MaskCsr,
+    forbid: MaskCsr,
+    clear: MaskCsr,
+    set: MaskCsr,
+    affected_off: Vec<u32>,
+    affected: Vec<u32>,
+}
+
+impl Incidence {
+    /// Builds the incidence index of `net`.
+    #[must_use]
+    pub fn from_net(net: &PetriNet) -> Self {
+        let np = net.place_count();
+        let nt = net.transition_count();
+        let mut need = MaskCsr::builder(nt);
+        let mut forbid = MaskCsr::builder(nt);
+        let mut clear = MaskCsr::builder(nt);
+        let mut set = MaskCsr::builder(nt);
+        // place -> transitions whose enabledness depends on it
+        let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); np];
+        // per transition: places toggled by firing (consumes Δ produces)
+        let mut changed: Vec<Vec<usize>> = vec![Vec::new(); nt];
+
+        for t in net.transitions() {
+            let ti = t.index();
+            let tr = net.transition(t);
+            for &p in tr.consumes() {
+                need.add(ti, p.index());
+                clear.add(ti, p.index());
+                watchers[p.index()].push(ti as u32);
+                if tr.produces().binary_search(&p).is_err() {
+                    changed[ti].push(p.index());
+                }
+            }
+            for &p in tr.reads() {
+                if tr.consumes().binary_search(&p).is_err() {
+                    watchers[p.index()].push(ti as u32);
+                }
+                need.add(ti, p.index());
+            }
+            for &p in tr.produces() {
+                set.add(ti, p.index());
+                if tr.consumes().binary_search(&p).is_err() {
+                    forbid.add(ti, p.index());
+                    watchers[p.index()].push(ti as u32);
+                    changed[ti].push(p.index());
+                }
+            }
+        }
+
+        let mut affected_off = Vec::with_capacity(nt + 1);
+        let mut affected = Vec::new();
+        affected_off.push(0);
+        let mut row: Vec<u32> = Vec::new();
+        for changed_places in &changed {
+            row.clear();
+            for &p in changed_places {
+                row.extend_from_slice(&watchers[p]);
+            }
+            row.sort_unstable();
+            row.dedup();
+            affected.extend_from_slice(&row);
+            affected_off.push(affected.len() as u32);
+        }
+
+        Incidence {
+            words: np.div_ceil(64),
+            transitions: nt,
+            need: need.finish(),
+            forbid: forbid.finish(),
+            clear: clear.finish(),
+            set: set.finish(),
+            affected_off,
+            affected,
+        }
+    }
+
+    /// Words per packed marking.
+    #[must_use]
+    pub fn marking_words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of transitions indexed.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.transitions
+    }
+
+    /// Is `t` enabled in the word-packed marking `state`? Equivalent to
+    /// [`PetriNet::is_enabled`] on the corresponding [`crate::Marking`].
+    #[must_use]
+    #[inline]
+    pub fn is_enabled(&self, t: TransitionId, state: &[u64]) -> bool {
+        let ti = t.index();
+        self.need
+            .row(ti)
+            .iter()
+            .all(|&(w, m)| state[w as usize] & m == m)
+            && self
+                .forbid
+                .row(ti)
+                .iter()
+                .all(|&(w, m)| state[w as usize] & m == 0)
+    }
+
+    /// Fires `t` (assumed enabled) on `src`, writing the successor marking
+    /// into `dst`.
+    #[inline]
+    pub fn fire_into(&self, t: TransitionId, src: &[u64], dst: &mut [u64]) {
+        dst.copy_from_slice(src);
+        for &(w, m) in self.clear.row(t.index()) {
+            dst[w as usize] &= !m;
+        }
+        for &(w, m) in self.set.row(t.index()) {
+            dst[w as usize] |= m;
+        }
+    }
+
+    /// The transitions whose enabledness must be re-checked after `t` fires.
+    #[must_use]
+    #[inline]
+    pub fn affected(&self, t: TransitionId) -> &[u32] {
+        let ti = t.index();
+        &self.affected[self.affected_off[ti] as usize..self.affected_off[ti + 1] as usize]
+    }
+}
+
+/// [`TransitionSystem`] view of a [`PetriNet`]: actions are transitions,
+/// states are word-packed markings.
+pub struct NetSystem {
+    inc: Incidence,
+    initial: Vec<u64>,
+}
+
+impl NetSystem {
+    /// Builds the system (and its [`Incidence`] index) for `net`.
+    #[must_use]
+    pub fn new(net: &PetriNet) -> Self {
+        let inc = Incidence::from_net(net);
+        let mut initial = vec![0u64; inc.marking_words().max(1)];
+        for p in net.places() {
+            if net.place(p).initially_marked {
+                set_bit(&mut initial, p.index(), true);
+            }
+        }
+        NetSystem { inc, initial }
+    }
+
+    /// The underlying incidence index.
+    #[must_use]
+    pub fn incidence(&self) -> &Incidence {
+        &self.inc
+    }
+}
+
+impl TransitionSystem for NetSystem {
+    fn state_words(&self) -> usize {
+        self.inc.marking_words()
+    }
+
+    fn action_count(&self) -> usize {
+        self.inc.transition_count()
+    }
+
+    fn write_initial(&mut self, out: &mut [u64]) {
+        out.copy_from_slice(&self.initial);
+    }
+
+    fn write_enabled_full(&mut self, state: &[u64], out: &mut [u64]) {
+        for ti in 0..self.inc.transition_count() {
+            set_bit(
+                out,
+                ti,
+                self.inc.is_enabled(TransitionId::from_index(ti), state),
+            );
+        }
+    }
+
+    fn apply(&mut self, a: usize, state: &[u64], out: &mut [u64]) {
+        self.inc.fire_into(TransitionId::from_index(a), state, out);
+    }
+
+    fn update_enabled(&mut self, a: usize, state: &[u64], enabled: &mut [u64]) {
+        for &t2 in self.inc.affected(TransitionId::from_index(a)) {
+            set_bit(
+                enabled,
+                t2 as usize,
+                self.inc
+                    .is_enabled(TransitionId::from_index(t2 as usize), state),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Marking;
+
+    fn ring(n: usize) -> PetriNet {
+        let mut net = PetriNet::new();
+        let places: Vec<_> = (0..n)
+            .map(|i| net.add_place(format!("p{i}"), i == 0))
+            .collect();
+        for i in 0..n {
+            let t = net.add_transition(format!("t{i}"));
+            net.consume(t, places[i]);
+            net.produce(t, places[(i + 1) % n]);
+        }
+        net
+    }
+
+    fn marking_of(net: &PetriNet, words: &[u64]) -> Marking {
+        let mut m = Marking::empty(net.place_count());
+        for p in net.places() {
+            m.set(p, get_bit(words, p.index()));
+        }
+        m
+    }
+
+    #[test]
+    fn incidence_agrees_with_net_enabledness() {
+        let net = ring(5);
+        let inc = Incidence::from_net(&net);
+        let mut sys = NetSystem::new(&net);
+        let g = explore(&mut sys, 1_000);
+        for i in 0..g.len() {
+            let words = g.state_words(i);
+            let m = marking_of(&net, words);
+            for t in net.transitions() {
+                assert_eq!(inc.is_enabled(t, words), net.is_enabled(t, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn fire_into_matches_net_fire() {
+        let net = ring(4);
+        let inc = Incidence::from_net(&net);
+        let mut sys = NetSystem::new(&net);
+        let g = explore(&mut sys, 1_000);
+        let mut dst = vec![0u64; g.stride];
+        for i in 0..g.len() {
+            let words = g.state_words(i);
+            let m = marking_of(&net, words);
+            for t in net.transitions() {
+                if inc.is_enabled(t, words) {
+                    inc.fire_into(t, words, &mut dst);
+                    assert_eq!(marking_of(&net, &dst), net.fire(t, &m).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affected_sets_cover_every_status_flip() {
+        // brute-force cross-check: firing t in any reachable marking only
+        // changes the enabledness of transitions in affected(t)
+        let net = ring(6);
+        let inc = Incidence::from_net(&net);
+        let mut sys = NetSystem::new(&net);
+        let g = explore(&mut sys, 1_000);
+        let mut dst = vec![0u64; g.stride];
+        for i in 0..g.len() {
+            let words = g.state_words(i);
+            for t in net.transitions() {
+                if !inc.is_enabled(t, words) {
+                    continue;
+                }
+                inc.fire_into(t, words, &mut dst);
+                for t2 in net.transitions() {
+                    let flipped = inc.is_enabled(t2, words) != inc.is_enabled(t2, &dst);
+                    if flipped {
+                        assert!(
+                            inc.affected(t).contains(&(t2.index() as u32)),
+                            "{t2:?} flipped but is not in affected({t:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_table_grows_correctly() {
+        // a ring large enough to force several table growths
+        let net = ring(3000);
+        let mut sys = NetSystem::new(&net);
+        let g = explore(&mut sys, 10_000);
+        assert_eq!(g.len(), 3000);
+        assert!(!g.truncated);
+    }
+
+    #[test]
+    fn zero_place_net_has_single_state() {
+        let mut net = PetriNet::new();
+        net.add_transition("noop");
+        let mut sys = NetSystem::new(&net);
+        let g = explore(&mut sys, 10);
+        // `noop` has no arcs: it is enabled and loops on the only state
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.successors(0), &[(0, 0)]);
+        assert!(!g.truncated);
+    }
+}

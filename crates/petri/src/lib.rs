@@ -51,6 +51,7 @@ mod net;
 
 pub mod analysis;
 pub mod dot;
+pub mod engine;
 pub mod invariants;
 pub mod reachability;
 

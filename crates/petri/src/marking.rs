@@ -61,6 +61,28 @@ impl Marking {
         }
     }
 
+    /// Builds a marking over `places` places from word-packed bits (as used
+    /// by the [`crate::engine`] arena). Bits above `places` must be zero.
+    pub(crate) fn from_words(words: Vec<u64>, places: usize) -> Self {
+        debug_assert_eq!(words.len(), places.div_ceil(64));
+        Marking {
+            words,
+            len: u32::try_from(places).expect("too many places"),
+        }
+    }
+
+    /// The word-packed bits of this marking.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites this marking's bits from a word slice of at least
+    /// `len().div_ceil(64)` words (extra high words are ignored).
+    pub(crate) fn copy_from_words(&mut self, words: &[u64]) {
+        let n = self.words.len();
+        self.words.copy_from_slice(&words[..n]);
+    }
+
     /// Number of marked places.
     #[must_use]
     pub fn count(&self) -> usize {

@@ -208,11 +208,23 @@ impl PetriNet {
     }
 
     /// All transitions enabled in `m`, in index order.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops should reuse a buffer via
+    /// [`PetriNet::enabled_transitions_into`] (or go through the incidence
+    /// index of [`crate::engine`], which skips the scan entirely).
     #[must_use]
     pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
-        self.transitions()
-            .filter(|&t| self.is_enabled(t, m))
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_transitions_into(m, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`PetriNet::enabled_transitions`]: clears
+    /// `out` and fills it with the transitions enabled in `m`, in index
+    /// order.
+    pub fn enabled_transitions_into(&self, m: &Marking, out: &mut Vec<TransitionId>) {
+        out.clear();
+        out.extend(self.transitions().filter(|&t| self.is_enabled(t, m)));
     }
 
     /// Fires `t` in marking `m`, returning the successor marking.
@@ -221,18 +233,37 @@ impl PetriNet {
     ///
     /// Returns [`PetriError::NotEnabled`] if `t` is not enabled in `m`.
     pub fn fire(&self, t: TransitionId, m: &Marking) -> Result<Marking, PetriError> {
+        let mut next = m.clone();
+        self.fire_into(t, m, &mut next)?;
+        Ok(next)
+    }
+
+    /// Buffer-reusing variant of [`PetriNet::fire`]: writes the successor of
+    /// `m` under `t` into `out` (which must cover the same places; its prior
+    /// contents are overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::NotEnabled`] if `t` is not enabled in `m`; `out`
+    /// is left untouched in that case.
+    pub fn fire_into(
+        &self,
+        t: TransitionId,
+        m: &Marking,
+        out: &mut Marking,
+    ) -> Result<(), PetriError> {
         if !self.is_enabled(t, m) {
             return Err(PetriError::NotEnabled(t));
         }
+        out.clone_from(m);
         let tr = &self.transitions[t.index()];
-        let mut next = m.clone();
         for &p in &tr.consumes {
-            next.set(p, false);
+            out.set(p, false);
         }
         for &p in &tr.produces {
-            next.set(p, true);
+            out.set(p, true);
         }
-        Ok(next)
+        Ok(())
     }
 
     /// Rebuilds the name lookup tables (needed after deserialisation, where

@@ -5,11 +5,18 @@
 //! firing trace (counterexample) can be reconstructed for any reached state.
 //!
 //! This is the workhorse behind deadlock detection, persistence checking and
-//! Reach-predicate queries, standing in for the paper's MPSAT backend. DFS
-//! translations are 1-safe by construction, so markings are compact bitsets
-//! and exploration of the models verified in the paper (stage structures and
-//! few-stage pipelines) completes in milliseconds.
+//! Reach-predicate queries, standing in for the paper's MPSAT backend.
+//!
+//! Since PR 2 the traversal runs on the shared incremental engine of
+//! [`crate::engine`]: markings live word-packed in a dense arena, the dedup
+//! index hashes arena slices instead of cloned [`Marking`]s, and after each
+//! firing only the transitions whose preset intersects the changed places are
+//! re-checked for enabledness. The original explorer is retained as
+//! [`explore_naive_truncated`] — it is the reference implementation the
+//! engine is property-tested against, and the baseline the
+//! `state_space_scaling` benchmark measures speedups from.
 
+use crate::engine::{self, ExploredGraph, NetSystem, NO_PARENT};
 use crate::{Marking, PetriError, PetriNet, TransitionId};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -42,29 +49,53 @@ impl StateId {
 }
 
 /// The reachable state space of a net.
+///
+/// Markings are stored word-packed in a dense arena; [`StateSpace::marking`]
+/// materialises a [`Marking`] on demand, and [`StateSpace::fill_marking`]
+/// does so into a caller-owned buffer for allocation-free scans.
 #[derive(Debug, Clone)]
 pub struct StateSpace {
-    markings: Vec<Marking>,
-    /// For each state except the initial one: (predecessor, fired transition).
-    parents: Vec<Option<(StateId, TransitionId)>>,
-    /// Outgoing edges of every state: (transition, successor).
-    successors: Vec<Vec<(TransitionId, StateId)>>,
+    places: usize,
+    stride: usize,
+    arena: Vec<u64>,
+    /// For each state: `(predecessor, fired transition)`; the initial state
+    /// has predecessor [`NO_PARENT`].
+    parents: Vec<(u32, u32)>,
+    succ_off: Vec<u32>,
+    succ: Vec<(TransitionId, StateId)>,
     /// Whether exploration stopped early because of the state budget.
     truncated: bool,
 }
 
 impl StateSpace {
+    fn from_graph(g: ExploredGraph, places: usize) -> Self {
+        let succ = g
+            .succ
+            .iter()
+            .map(|&(a, s)| (TransitionId::from_index(a as usize), StateId(s)))
+            .collect();
+        StateSpace {
+            places,
+            stride: g.stride,
+            arena: g.arena,
+            parents: g.parents,
+            succ_off: g.succ_off,
+            succ,
+            truncated: g.truncated,
+        }
+    }
+
     /// Number of reachable states discovered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.markings.len()
+        self.parents.len()
     }
 
     /// `true` when the net has no reachable states (impossible: the initial
     /// marking always exists), kept for `len`/`is_empty` pairing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.markings.is_empty()
+        self.parents.is_empty()
     }
 
     /// Did exploration stop early because of [`ExploreConfig::max_states`]?
@@ -73,10 +104,34 @@ impl StateSpace {
         self.truncated
     }
 
-    /// The marking of `state`.
+    /// The marking of `state`, materialised from the arena.
     #[must_use]
-    pub fn marking(&self, state: StateId) -> &Marking {
-        &self.markings[state.index()]
+    pub fn marking(&self, state: StateId) -> Marking {
+        let words = self.places.div_ceil(64);
+        let base = state.index() * self.stride;
+        Marking::from_words(self.arena[base..base + words].to_vec(), self.places)
+    }
+
+    /// Copies the marking of `state` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` does not cover exactly this net's places.
+    pub fn fill_marking(&self, state: StateId, out: &mut Marking) {
+        assert_eq!(out.len(), self.places, "marking buffer has the wrong width");
+        out.copy_from_words(&self.arena[state.index() * self.stride..]);
+    }
+
+    /// The word-packed marking bits of `state` (see [`crate::engine`]).
+    #[must_use]
+    pub fn marking_words(&self, state: StateId) -> &[u64] {
+        &self.arena[state.index() * self.stride..(state.index() + 1) * self.stride]
+    }
+
+    /// Is `place` marked in `state`? Cheaper than materialising the marking.
+    #[must_use]
+    pub fn is_marked(&self, state: StateId, place: crate::PlaceId) -> bool {
+        engine::get_bit(self.marking_words(state), place.index())
     }
 
     /// The initial state.
@@ -87,31 +142,38 @@ impl StateSpace {
 
     /// Iterates over all states.
     pub fn states(&self) -> impl Iterator<Item = StateId> {
-        (0..self.markings.len() as u32).map(StateId)
+        (0..self.parents.len() as u32).map(StateId)
     }
 
     /// Outgoing edges `(transition, successor)` of `state`.
     #[must_use]
     pub fn successors(&self, state: StateId) -> &[(TransitionId, StateId)] {
-        &self.successors[state.index()]
+        let i = state.index();
+        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Reconstructs the firing sequence from the initial state to `state`.
     #[must_use]
     pub fn trace_to(&self, state: StateId) -> Vec<TransitionId> {
         let mut rev = Vec::new();
-        let mut cur = state;
-        while let Some((prev, t)) = self.parents[cur.index()] {
-            rev.push(t);
-            cur = prev;
+        let mut cur = state.index();
+        while self.parents[cur].0 != NO_PARENT {
+            let (prev, t) = self.parents[cur];
+            rev.push(TransitionId::from_index(t as usize));
+            cur = prev as usize;
         }
         rev.reverse();
         rev
     }
 
-    /// Finds a state whose marking satisfies `pred`, if any.
+    /// Finds a state whose marking satisfies `pred`, if any, scanning in BFS
+    /// (shortest-trace) order with a single reused marking buffer.
     pub fn find_state(&self, mut pred: impl FnMut(&Marking) -> bool) -> Option<StateId> {
-        self.states().find(|&s| pred(self.marking(s)))
+        let mut scratch = Marking::empty(self.places);
+        self.states().find(|&s| {
+            self.fill_marking(s, &mut scratch);
+            pred(&scratch)
+        })
     }
 }
 
@@ -138,10 +200,39 @@ pub fn explore(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, Petr
 /// exceeded.
 #[must_use]
 pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
+    let mut sys = NetSystem::new(net);
+    let graph = engine::explore(&mut sys, config.max_states);
+    StateSpace::from_graph(graph, net.place_count())
+}
+
+/// The original (pre-engine) explorer: full transition scan per state,
+/// cloned [`Marking`] keys in a `HashMap` dedup index.
+///
+/// Retained verbatim as the reference implementation: the equivalence
+/// property tests check the engine against it state-for-state, and the
+/// `state_space_scaling` benchmark reports speedups relative to it. Use
+/// [`explore`] / [`explore_truncated`] everywhere else.
+///
+/// # Errors
+///
+/// Returns [`PetriError::StateBudgetExceeded`] like [`explore`].
+pub fn explore_naive(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, PetriError> {
+    let space = explore_naive_truncated(net, config);
+    if space.truncated {
+        return Err(PetriError::StateBudgetExceeded {
+            budget: config.max_states,
+        });
+    }
+    Ok(space)
+}
+
+/// Truncating variant of [`explore_naive`].
+#[must_use]
+pub fn explore_naive_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
     let m0 = net.initial_marking();
     let mut index: HashMap<Marking, StateId> = HashMap::new();
     let mut markings = vec![m0.clone()];
-    let mut parents: Vec<Option<(StateId, TransitionId)>> = vec![None];
+    let mut parents: Vec<(u32, u32)> = vec![(NO_PARENT, 0)];
     let mut successors: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
     index.insert(m0, StateId(0));
 
@@ -165,7 +256,7 @@ pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
                     }
                     let id = StateId(markings.len() as u32);
                     markings.push(e.key().clone());
-                    parents.push(Some((s, t)));
+                    parents.push((s.0, t.index() as u32));
                     successors.push(Vec::new());
                     queue.push_back(id);
                     e.insert(id);
@@ -176,10 +267,30 @@ pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
         }
     }
 
+    // pack into the arena representation shared with the engine path
+    let places = net.place_count();
+    let stride = places.div_ceil(64).max(1);
+    let mut arena = Vec::with_capacity(markings.len() * stride);
+    for m in &markings {
+        let words = m.words();
+        arena.extend_from_slice(words);
+        arena.extend(std::iter::repeat_n(0u64, stride - words.len()));
+    }
+    let mut succ_off = Vec::with_capacity(markings.len() + 1);
+    let mut succ = Vec::new();
+    succ_off.push(0u32);
+    for row in &successors {
+        succ.extend_from_slice(row);
+        succ_off.push(succ.len() as u32);
+    }
+
     StateSpace {
-        markings,
+        places,
+        stride,
+        arena,
         parents,
-        successors,
+        succ_off,
+        succ,
         truncated,
     }
 }
@@ -220,7 +331,7 @@ mod tests {
             for t in space.trace_to(s) {
                 m = net.fire(t, &m).unwrap();
             }
-            assert_eq!(&m, space.marking(s));
+            assert_eq!(m, space.marking(s));
         }
     }
 
@@ -263,6 +374,26 @@ mod tests {
         let p3 = net.place_by_name("p3").unwrap();
         let s = space.find_state(|m| m.is_marked(p3)).unwrap();
         assert!(space.marking(s).is_marked(p3));
+        assert!(space.is_marked(s, p3));
         assert_eq!(space.trace_to(s).len(), 3);
+    }
+
+    /// The engine path must be indistinguishable from the reference
+    /// explorer: same state numbering, same edges, same truncation.
+    #[test]
+    fn engine_matches_naive_reference() {
+        for budget in [usize::MAX, 7, 3] {
+            let net = ring(9);
+            let cfg = ExploreConfig { max_states: budget };
+            let a = explore_truncated(&net, cfg);
+            let b = explore_naive_truncated(&net, cfg);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.is_truncated(), b.is_truncated());
+            for (sa, sb) in a.states().zip(b.states()) {
+                assert_eq!(a.marking(sa), b.marking(sb));
+                assert_eq!(a.successors(sa), b.successors(sb));
+                assert_eq!(a.trace_to(sa), b.trace_to(sb));
+            }
+        }
     }
 }

@@ -76,7 +76,7 @@ proptest! {
             for t in space.trace_to(s) {
                 m = net.fire(t, &m).unwrap();
             }
-            prop_assert_eq!(&m, space.marking(s));
+            prop_assert_eq!(&m, &space.marking(s));
         }
     }
 
@@ -104,9 +104,9 @@ proptest! {
         }
         let space = explore_truncated(&net, ExploreConfig { max_states: 5_000 });
         prop_assume!(!space.is_truncated());
-        let n0 = token_count(space.marking(space.initial()));
+        let n0 = token_count(&space.marking(space.initial()));
         for s in space.states() {
-            prop_assert_eq!(token_count(space.marking(s)), n0);
+            prop_assert_eq!(token_count(&space.marking(s)), n0);
         }
     }
 
@@ -134,7 +134,7 @@ proptest! {
             prop_assert_eq!(m.len(), net.place_count());
             prop_assert!(m.count() <= net.place_count());
             for t in net.transitions() {
-                if net.is_enabled(t, m) {
+                if net.is_enabled(t, &m) {
                     let tr = net.transition(t);
                     for &p in tr.produces() {
                         prop_assert!(
@@ -143,9 +143,9 @@ proptest! {
                         );
                     }
                     // firing an enabled transition keeps the image 1-safe
-                    prop_assert!(net.fire(t, m).unwrap().count() <= net.place_count());
+                    prop_assert!(net.fire(t, &m).unwrap().count() <= net.place_count());
                 } else {
-                    prop_assert!(net.fire(t, m).is_err());
+                    prop_assert!(net.fire(t, &m).is_err());
                 }
             }
         }
@@ -164,7 +164,7 @@ proptest! {
                 m = net.fire(*t, &m).unwrap();
             }
             prop_assert_eq!(&m, &dead.marking);
-            prop_assert_eq!(&m, space.marking(dead.state));
+            prop_assert_eq!(&m, &space.marking(dead.state));
             prop_assert!(
                 net.enabled_transitions(&m).is_empty(),
                 "replayed trace must land in the dead state"

@@ -59,7 +59,7 @@ pub use compile::CompiledPredicate;
 pub use glob::glob_match;
 
 use rap_petri::reachability::{StateId, StateSpace};
-use rap_petri::{PetriNet, TransitionId};
+use rap_petri::{Marking, PetriNet, TransitionId};
 use std::error::Error;
 use std::fmt;
 
@@ -115,9 +115,13 @@ pub fn find_witness(
     space: &StateSpace,
     pred: &CompiledPredicate,
 ) -> Option<Witness> {
+    let mut scratch = Marking::empty(net.place_count());
     space
         .states()
-        .find(|&s| pred.eval(net, space.marking(s)))
+        .find(|&s| {
+            space.fill_marking(s, &mut scratch);
+            pred.eval(net, &scratch)
+        })
         .map(|state| Witness {
             state,
             trace: space.trace_to(state),
