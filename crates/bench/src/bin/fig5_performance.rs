@@ -3,12 +3,27 @@
 //! bottleneck nodes, with the measured throughput from the timed simulator
 //! alongside, plus the wagging optimisation (§II-D) as the tool's
 //! suggested remedy for a bottleneck stage.
+//!
+//! Every analytic number printed here is **exact** (`perf::analyse` phase-
+//! unfolds models with choice; see the `construction` tag per row) and is
+//! cross-checked against the simulator's steady-state recurrence period.
+//! The wagging rows are pinned in `tests/experiments_hold.rs` so they
+//! cannot silently drift back to the old optimistic bound.
 
-use dfs_core::perf::analyse;
-use dfs_core::timed::{measure_throughput, ChoicePolicy};
+use dfs_core::perf::{analyse, Construction};
+use dfs_core::timed::{measure_steady_period, measure_throughput, ChoicePolicy};
 use dfs_core::wagging::wagged_pipeline;
 use rap_bench::{banner, num};
 use rap_ope::dfs_model::{reconfigurable_ope_dfs, static_ope_dfs};
+
+fn construction_tag(c: Construction) -> String {
+    match c {
+        Construction::Direct => "direct event graph".into(),
+        Construction::PhaseUnfolded { phases } => {
+            format!("{phases}-phase unfolding")
+        }
+    }
+}
 
 fn main() {
     banner("Fig. 5 — dataflow performance analysis (cycles, bottlenecks)");
@@ -24,9 +39,10 @@ fn main() {
         match analyse(&pipe.dfs) {
             Ok(report) => {
                 println!(
-                    "  analytic throughput bound: {} tokens/unit (period {})",
+                    "  analytic throughput: {} tokens/unit (period {}, {})",
                     num(report.throughput, 5),
-                    num(report.period, 3)
+                    num(report.period, 3),
+                    construction_tag(report.construction)
                 );
                 println!(
                     "  critical cycle ({} tokens / {} delay): {}",
@@ -69,9 +85,24 @@ fn main() {
     println!("\n## wagging a bottleneck stage (Brej [15], §II-D)");
     for ways in [1usize, 2, 3] {
         let w = wagged_pipeline(ways, 1, 8.0).unwrap();
-        let thr = measure_throughput(&w.dfs, w.output, 6, 30, ChoicePolicy::AlwaysTrue)
-            .expect("live wagged pipeline");
-        println!("  {ways}-way: measured throughput {}", num(thr, 5));
+        let report = analyse(&w.dfs).expect("live wagged pipeline analyses");
+        let steady = measure_steady_period(&w.dfs, w.output, 200, ChoicePolicy::AlwaysTrue)
+            .expect("live wagged pipeline recurs");
+        println!(
+            "  {ways}-way: analytic throughput {} ({}), simulator steady period {} (= analytic {}), bottleneck {}",
+            num(report.throughput, 5),
+            construction_tag(report.construction),
+            num(steady.period, 5),
+            num(report.period, 5),
+            report.critical.bottleneck
+        );
+        assert!(
+            (report.period - steady.period).abs() <= 1e-9 * steady.period,
+            "exactness regression: analysis {} vs simulator {}",
+            report.period,
+            steady.period
+        );
     }
-    println!("  (the rotating push/pop rings distribute tokens round-robin)");
+    println!("  (the rotating push/pop rings distribute tokens round-robin;");
+    println!("   analysis and simulator agree exactly on every row)");
 }

@@ -54,6 +54,12 @@ pub enum DfsError {
         /// Output tokens produced before the stall.
         produced: u64,
     },
+    /// The timed simulator found no steady-state recurrence within its
+    /// token budget (non-periodic scheduling policy, or budget too small).
+    NoSteadyState {
+        /// Watched tokens produced while searching.
+        marks: u64,
+    },
 }
 
 impl fmt::Display for DfsError {
@@ -81,6 +87,9 @@ impl fmt::Display for DfsError {
                 f,
                 "simulation stalled at t={time} after {produced} output tokens"
             ),
+            DfsError::NoSteadyState { marks } => {
+                write!(f, "no steady-state recurrence within {marks} output tokens")
+            }
         }
     }
 }

@@ -47,6 +47,7 @@ pub fn howard_mcr(g: &EventGraph) -> Result<McrSolution, McrError> {
         return Ok(McrSolution {
             ratio: 0.0,
             cycle: Vec::new(),
+            cycle_arcs: Vec::new(),
         });
     }
 
@@ -103,10 +104,11 @@ pub fn howard_mcr(g: &EventGraph) -> Result<McrSolution, McrError> {
         .filter(|&v| alive[v])
         .max_by(|&x, &y| lambda[x].total_cmp(&lambda[y]))
         .expect("nonempty core");
-    let cycle = policy_cycle(g, &policy, best);
+    let (cycle, cycle_arcs) = policy_cycle(g, &policy, best);
     Ok(McrSolution {
         ratio: lambda[best],
         cycle,
+        cycle_arcs,
     })
 }
 
@@ -200,8 +202,10 @@ fn recompute_path_values(
     }
 }
 
-/// The cycle reached by following the policy from `start`.
-fn policy_cycle(g: &EventGraph, policy: &[usize], start: usize) -> Vec<usize> {
+/// The cycle reached by following the policy from `start`, as vertices plus
+/// the policy arc indices traversed (the solver's actual arc choices — not
+/// re-derived from vertex pairs, which would misattribute parallel arcs).
+fn policy_cycle(g: &EventGraph, policy: &[usize], start: usize) -> (Vec<usize>, Vec<usize>) {
     let n = policy.len();
     let mut seen = vec![false; n];
     let mut v = start;
@@ -211,13 +215,18 @@ fn policy_cycle(g: &EventGraph, policy: &[usize], start: usize) -> Vec<usize> {
     }
     let root = v;
     let mut cycle = vec![root];
-    let mut cur = g.arcs[policy[root]].to;
-    while cur != root {
+    let mut arcs = Vec::new();
+    let mut cur = root;
+    loop {
+        let ai = policy[cur];
+        arcs.push(ai);
+        cur = g.arcs[ai].to;
         cycle.push(cur);
-        cur = g.arcs[policy[cur]].to;
+        if cur == root {
+            break;
+        }
     }
-    cycle.push(root);
-    cycle
+    (cycle, arcs)
 }
 
 #[cfg(test)]

@@ -19,6 +19,11 @@ pub struct McrSolution {
     pub ratio: f64,
     /// A critical cycle as a vertex sequence `v0, v1, …, v0`.
     pub cycle: Vec<usize>,
+    /// The arc indices actually traversed along `cycle`
+    /// (`cycle_arcs[i]` connects `cycle[i]` to `cycle[i + 1]`). Reported
+    /// delays/tokens must come from these, not from a vertex-pair lookup:
+    /// parallel arcs between the same vertices can carry different weights.
+    pub cycle_arcs: Vec<usize>,
 }
 
 /// Computes the maximum cycle ratio of `g`.
@@ -38,6 +43,7 @@ pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, McrError> {
         return Ok(McrSolution {
             ratio: 0.0,
             cycle: Vec::new(),
+            cycle_arcs: Vec::new(),
         });
     }
 
@@ -45,7 +51,9 @@ pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, McrError> {
     let mut lo = 0.0f64;
     let mut hi: f64 = g.arcs.iter().map(|a| a.weight).sum::<f64>().max(1.0);
 
-    // binary search to fixed relative precision
+    // binary search to fixed *relative* precision — an absolute floor here
+    // would swamp the period of models whose delays sit far below one time
+    // unit (the 100-iteration cap still bounds the work when hi → 0)
     for _ in 0..100 {
         let mid = 0.5 * (lo + hi);
         if has_positive_cycle(g, mid).is_some() {
@@ -53,7 +61,7 @@ pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, McrError> {
         } else {
             hi = mid;
         }
-        if hi - lo <= 1e-12 * hi.max(1.0) {
+        if hi - lo <= 1e-12 * hi {
             break;
         }
     }
@@ -62,69 +70,66 @@ pub fn maximum_cycle_ratio(g: &EventGraph) -> Result<McrSolution, McrError> {
     // extract a witness cycle at a λ slightly below λ* (any positive cycle
     // there has ratio in (λ, λ*], i.e. within the search tolerance of λ*)
     let probe = (ratio - (hi - lo).max(1e-9) - 1e-9).max(-1.0);
-    let cycle = has_positive_cycle(g, probe).unwrap_or_default();
-    Ok(McrSolution { ratio, cycle })
+    let (cycle, cycle_arcs) = has_positive_cycle(g, probe).unwrap_or_default();
+    Ok(McrSolution {
+        ratio,
+        cycle,
+        cycle_arcs,
+    })
 }
 
-/// Total (weight, tokens) along a vertex cycle `v0, …, vk = v0`.
+/// Total (weight, tokens) along the arc indices of an extracted cycle.
 #[must_use]
-pub fn cycle_ratio(g: &EventGraph, cycle: &[usize]) -> (f64, u32) {
-    let mut w = 0.0;
-    let mut t = 0u32;
-    for pair in cycle.windows(2) {
-        // pick the best arc between consecutive vertices (max weight, min
-        // tokens): the cycle extraction follows real arcs, duplicates are
-        // resolved conservatively
-        if let Some(a) = g
-            .arcs
-            .iter()
-            .filter(|a| a.from == pair[0] && a.to == pair[1])
-            .max_by(|x, y| {
-                (x.weight - f64::from(x.tokens)).total_cmp(&(y.weight - f64::from(y.tokens)))
-            })
-        {
-            w += a.weight;
-            t += a.tokens;
-        }
-    }
-    (w, t)
+pub fn cycle_totals(g: &EventGraph, cycle_arcs: &[usize]) -> (f64, u32) {
+    cycle_arcs.iter().fold((0.0, 0u32), |(w, t), &ai| {
+        let a = &g.arcs[ai];
+        (w + a.weight, t + a.tokens)
+    })
 }
 
 /// Longest-path Bellman–Ford on weights `w − λ·t`; returns a positive cycle
-/// as a vertex list `v0, …, v0` if one exists.
-fn has_positive_cycle(g: &EventGraph, lambda: f64) -> Option<Vec<usize>> {
+/// as a vertex list `v0, …, v0` plus the traversed arc indices, if one
+/// exists.
+fn has_positive_cycle(g: &EventGraph, lambda: f64) -> Option<(Vec<usize>, Vec<usize>)> {
     let n = g.vertices.len();
     let mut dist = vec![0.0f64; n];
-    let mut pred = vec![usize::MAX; n];
+    let mut pred_arc = vec![usize::MAX; n];
     let mut changed_vertex = None;
     for _ in 0..n {
         changed_vertex = None;
-        for a in &g.arcs {
+        for (ai, a) in g.arcs.iter().enumerate() {
             let w = a.weight - lambda * f64::from(a.tokens);
             if dist[a.from] + w > dist[a.to] + 1e-15 {
                 dist[a.to] = dist[a.from] + w;
-                pred[a.to] = a.from;
+                pred_arc[a.to] = ai;
                 changed_vertex = Some(a.to);
             }
         }
         changed_vertex?;
     }
     // a relaxation in the n-th pass witnesses a positive cycle; walk back n
-    // steps to land on the cycle, then trace it
+    // steps to land on the cycle, then trace it — remembering the *arcs*
+    // used, so parallel arcs between the same vertex pair stay attributed
     let mut v = changed_vertex?;
     for _ in 0..n {
-        v = pred[v];
+        v = g.arcs[pred_arc[v]].from;
     }
     let start = v;
-    let mut cycle = vec![start];
-    let mut cur = pred[start];
-    while cur != start {
-        cycle.push(cur);
-        cur = pred[cur];
+    let mut verts = vec![start];
+    let mut arcs_rev = Vec::new();
+    let mut cur = start;
+    loop {
+        let ai = pred_arc[cur];
+        arcs_rev.push(ai);
+        cur = g.arcs[ai].from;
+        verts.push(cur);
+        if cur == start {
+            break;
+        }
     }
-    cycle.push(start);
-    cycle.reverse();
-    Some(cycle)
+    verts.reverse();
+    arcs_rev.reverse();
+    Some((verts, arcs_rev))
 }
 
 /// Finds a cycle with zero total tokens and positive total weight, if any.

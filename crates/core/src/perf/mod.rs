@@ -24,13 +24,43 @@
 //! has period `6·d` while a 4-register ring has period `4·d` — classic
 //! asynchronous-ring behaviour that plain tokens-per-cycle counting misses.
 //!
-//! Dynamic registers are analysed in their *included* (true-controlled)
-//! configuration; analysing a given configuration is done by building the
-//! pipeline with the corresponding control initialisation and re-running the
-//! analysis (see the `fig5_performance` experiment binary).
+//! # Exactness contract
+//!
+//! The analysis is **exact** — not a bound — on every model whose choices
+//! resolve deterministically under the `AlwaysTrue` free-choice policy (the
+//! policy the timed simulator cross-checks use):
+//!
+//! * **Choice-free models** (logic + plain registers only) use the direct
+//!   two-vertices-per-node construction of [`EventGraph::build`]
+//!   ([`Construction::Direct`]).
+//! * **Models with dynamic registers** — k-way wagging, round-robin
+//!   distribution rings, reconfigurable stages with included *or excluded*
+//!   configurations — are analysed on the **phase unfolding**
+//!   ([`Construction::PhaseUnfolded`], [`mod@unfold`]): each event is
+//!   replicated once per phase of the cyclic choice schedule, inter-phase
+//!   dependencies are wired with token offsets that carry the wrap-around,
+//!   and the resulting *choice-free* graph goes to the same MCR solvers.
+//!   A k-way wagged pipeline, whose entry pushes accept a true token only
+//!   every k-th item, is no longer flattened into an "always included"
+//!   approximation — the former silent under-reporting of the period on
+//!   multi-way wagging is gone.
+//!
+//! Exactness is certified by an independent oracle: the timed simulator's
+//! steady-state period detection
+//! ([`measure_steady_period`](crate::timed::measure_steady_period) finds an
+//! exact recurrence of the timed configuration), and the two are asserted
+//! equal in `tests/perf_cross_check.rs` for wagging up to 4 ways × depth 3.
+//! [`PerfReport::construction`] records which construction produced a
+//! report.
+//!
+//! Models whose free choices are *data-dependent* (a control register with
+//! no upstream control sources) are analysed under the `AlwaysTrue`
+//! resolution of those choices; other policies are the simulator's
+//! territory.
 
 pub mod howard;
 pub mod mcr;
+pub mod unfold;
 
 use crate::graph::Dfs;
 use crate::node::{NodeId, NodeKind};
@@ -249,14 +279,50 @@ impl From<McrError> for DfsError {
     }
 }
 
-fn dedup(rs: &[crate::graph::RRef]) -> Vec<NodeId> {
+pub(crate) fn dedup(rs: &[crate::graph::RRef]) -> Vec<NodeId> {
     let mut v: Vec<NodeId> = rs.iter().map(|r| r.node).collect();
     v.sort_unstable();
     v.dedup();
     v
 }
 
+/// Which event-graph construction produced a [`PerfReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construction {
+    /// The direct two-vertices-per-node graph of [`EventGraph::build`] —
+    /// used for choice-free models (logic and plain registers only), where
+    /// it is exact.
+    Direct,
+    /// The phase-unfolded graph of [`unfold::unfold`] — used whenever the
+    /// model contains dynamic registers (control / push / pop), replicating
+    /// events over the cyclic choice schedule so the analysis stays exact.
+    PhaseUnfolded {
+        /// Items (occurrences of the fastest event) per hyper-period of the
+        /// unfolding — `k` for k-way wagging, `1` for constant-configured
+        /// reconfigurable stages.
+        phases: u32,
+    },
+}
+
+/// `1 / period` with the degenerate cases pinned down: a zero period (no
+/// constraining cycle) maps to infinite throughput, an infinite period
+/// (token-free cycle) maps to zero — never NaN. Both [`PerfReport`] and
+/// [`CriticalCycle::throughput`] go through this single guard.
+#[must_use]
+pub fn reciprocal_throughput(period: f64) -> f64 {
+    if period > 0.0 {
+        1.0 / period // 1/∞ = 0 handles the infinite-period case
+    } else {
+        f64::INFINITY
+    }
+}
+
 /// A critical cycle of the analysis.
+///
+/// For a [`Construction::PhaseUnfolded`] report the cycle lives in the
+/// unfolded graph: one token around it corresponds to one *hyper-period*
+/// (`phases` items), so its ratio is `phases ×` the per-item period of the
+/// report.
 #[derive(Debug, Clone)]
 pub struct CriticalCycle {
     /// Names of the nodes on the cycle, in order (deduplicated consecutive
@@ -271,47 +337,106 @@ pub struct CriticalCycle {
 }
 
 impl CriticalCycle {
-    /// Cycle throughput (tokens / delay).
+    /// Cycle period (delay / tokens): `∞` for a token-free cycle with
+    /// positive delay, `0` for an empty/degenerate cycle.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        if self.tokens > 0 {
+            self.delay / f64::from(self.tokens)
+        } else if self.delay > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    /// Cycle throughput (tokens / delay), guarded exactly like
+    /// [`PerfReport::throughput`]: `0` for a token-free cycle, `∞` for a
+    /// degenerate zero-delay cycle — never NaN.
     #[must_use]
     pub fn throughput(&self) -> f64 {
-        f64::from(self.tokens) / self.delay
+        reciprocal_throughput(self.period())
     }
 }
 
 /// Result of the performance analysis.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
-    /// Steady-state period (maximum cycle ratio) in time units per token.
+    /// Steady-state period in time units per token (per item for
+    /// phase-unfolded constructions).
     pub period: f64,
-    /// Throughput bound, `1 / period`.
+    /// Throughput, `1 / period` (guarded — see [`reciprocal_throughput`]).
     pub throughput: f64,
     /// The critical cycle achieving the period.
     pub critical: CriticalCycle,
+    /// Which event-graph construction produced this report.
+    pub construction: Construction,
 }
 
-/// Analyses `dfs` and returns its throughput bound and critical cycle.
+/// Analyses `dfs` and returns its exact steady-state throughput and
+/// critical cycle.
+///
+/// Choice-free models go straight to the direct event graph; models with
+/// dynamic registers are analysed on the phase unfolding (see the module
+/// docs for the exactness contract and [`PerfReport::construction`] for the
+/// provenance).
 ///
 /// # Errors
 ///
-/// [`DfsError::TokenFreeCycle`] when a dependency cycle carries no tokens —
-/// the model cannot make progress around that cycle (structural deadlock,
-/// e.g. a ring with fewer than three registers, or a token-free loop).
+/// * [`DfsError::TokenFreeCycle`] when a dependency cycle carries no
+///   tokens — the model cannot make progress around that cycle (structural
+///   deadlock, e.g. a ring with fewer than three registers).
+/// * [`DfsError::SimulationStalled`] when the choice-schedule replay behind
+///   the phase unfolding deadlocks (e.g. mismatched guards).
+/// * [`DfsError::StateBudgetExceeded`] when that replay finds no periodic
+///   schedule within its step budget.
 pub fn analyse(dfs: &Dfs) -> Result<PerfReport, DfsError> {
-    let g = EventGraph::build(dfs);
-    let sol = mcr::maximum_cycle_ratio(&g).map_err(|e| e.into_dfs_error(dfs, &g))?;
-    let cycle = describe_cycle(dfs, &g, &sol.cycle);
-    Ok(PerfReport {
-        period: sol.ratio,
-        throughput: if sol.ratio > 0.0 {
-            1.0 / sol.ratio
-        } else {
-            f64::INFINITY
-        },
-        critical: cycle,
-    })
+    let choice_free = dfs
+        .nodes()
+        .all(|n| matches!(dfs.kind(n), NodeKind::Logic | NodeKind::Register));
+    if choice_free {
+        let g = EventGraph::build(dfs);
+        let sol = mcr::maximum_cycle_ratio(&g).map_err(|e| e.into_dfs_error(dfs, &g))?;
+        Ok(report(dfs, &g, &sol, sol.ratio, Construction::Direct))
+    } else {
+        let u = unfold::unfold(dfs)?;
+        let sol =
+            mcr::maximum_cycle_ratio(&u.graph).map_err(|e| e.into_dfs_error(dfs, &u.graph))?;
+        // the MCR of the unfolded graph is the duration of one hyper-period
+        let period = sol.ratio / f64::from(u.items_per_period.max(1));
+        Ok(report(
+            dfs,
+            &u.graph,
+            &sol,
+            period,
+            Construction::PhaseUnfolded {
+                phases: u.items_per_period,
+            },
+        ))
+    }
 }
 
-pub(crate) fn describe_cycle(dfs: &Dfs, g: &EventGraph, cycle: &[usize]) -> CriticalCycle {
+fn report(
+    dfs: &Dfs,
+    g: &EventGraph,
+    sol: &mcr::McrSolution,
+    period: f64,
+    construction: Construction,
+) -> PerfReport {
+    PerfReport {
+        period,
+        throughput: reciprocal_throughput(period),
+        critical: describe_cycle(dfs, g, &sol.cycle, &sol.cycle_arcs),
+        construction,
+    }
+}
+
+pub(crate) fn describe_cycle(
+    dfs: &Dfs,
+    g: &EventGraph,
+    cycle: &[usize],
+    cycle_arcs: &[usize],
+) -> CriticalCycle {
     let mut nodes: Vec<NodeId> = Vec::new();
     for &v in cycle {
         let n = g.vertices[v].node;
@@ -322,14 +447,10 @@ pub(crate) fn describe_cycle(dfs: &Dfs, g: &EventGraph, cycle: &[usize]) -> Crit
     if nodes.len() > 1 && nodes.first() == nodes.last() {
         nodes.pop();
     }
-    let mut delay = 0.0;
-    let mut tokens = 0u32;
-    for w in cycle.windows(2) {
-        if let Some(arc) = g.arcs.iter().find(|a| a.from == w[0] && a.to == w[1]) {
-            delay += arc.weight;
-            tokens += arc.tokens;
-        }
-    }
+    // sum over the arcs the solver actually traversed: a vertex-pair lookup
+    // would pick an arbitrary member of a parallel-arc bundle and misreport
+    // the cycle's delay/token totals
+    let (delay, tokens) = mcr::cycle_totals(g, cycle_arcs);
     let bottleneck = nodes
         .iter()
         .copied()
@@ -400,6 +521,120 @@ mod tests {
             report.throughput
         );
         assert_eq!(report.critical.bottleneck, "r1");
+    }
+
+    /// Parallel arcs between the same vertex pair (legal in unfolded and
+    /// hand-built graphs) must be attributed via the solver's actual arc
+    /// indices: a vertex-pair lookup would report the delay/tokens of an
+    /// arbitrary bundle member.
+    #[test]
+    fn describe_cycle_resolves_parallel_arcs() {
+        let mut b = DfsBuilder::new();
+        let _ = b.register("a").marked().build();
+        let dfs = b.finish().unwrap();
+        let g = EventGraph::new(
+            vec![
+                EventVertex {
+                    node: NodeId::from_index(0),
+                    plus: true,
+                },
+                EventVertex {
+                    node: NodeId::from_index(0),
+                    plus: false,
+                },
+            ],
+            vec![
+                // light member of the parallel bundle listed first: a
+                // first-match lookup would pick it and report delay 2
+                EventArc {
+                    from: 0,
+                    to: 1,
+                    weight: 1.0,
+                    tokens: 1,
+                },
+                EventArc {
+                    from: 0,
+                    to: 1,
+                    weight: 5.0,
+                    tokens: 1,
+                },
+                EventArc {
+                    from: 1,
+                    to: 0,
+                    weight: 1.0,
+                    tokens: 0,
+                },
+            ],
+        );
+        for sol in [
+            mcr::maximum_cycle_ratio(&g).unwrap(),
+            howard::howard_mcr(&g).unwrap(),
+        ] {
+            assert!((sol.ratio - 6.0).abs() < 1e-9, "ratio {}", sol.ratio);
+            let cycle = describe_cycle(&dfs, &g, &sol.cycle, &sol.cycle_arcs);
+            assert!(
+                (cycle.delay - 6.0).abs() < 1e-9,
+                "cycle delay {} must come from the traversed heavy arc",
+                cycle.delay
+            );
+            assert_eq!(cycle.tokens, 1);
+            assert!((cycle.period() - sol.ratio).abs() < 1e-9);
+        }
+    }
+
+    /// The degenerate-cycle guards: no NaN from `0/0`, zero throughput for
+    /// token-free cycles, and the same guard on both `PerfReport` and
+    /// `CriticalCycle`.
+    #[test]
+    fn zero_period_guard_is_unified() {
+        let degenerate = CriticalCycle {
+            nodes: Vec::new(),
+            delay: 0.0,
+            tokens: 0,
+            bottleneck: String::new(),
+        };
+        assert_eq!(degenerate.period(), 0.0);
+        assert_eq!(degenerate.throughput(), f64::INFINITY);
+        let token_free = CriticalCycle {
+            nodes: vec!["a".into()],
+            delay: 3.0,
+            tokens: 0,
+            bottleneck: "a".into(),
+        };
+        assert_eq!(token_free.period(), f64::INFINITY);
+        assert_eq!(token_free.throughput(), 0.0);
+        assert_eq!(reciprocal_throughput(0.0), f64::INFINITY);
+        assert_eq!(reciprocal_throughput(f64::INFINITY), 0.0);
+        // an empty model exercises the zero-ratio path end to end: both the
+        // report and its critical cycle agree on "infinitely fast"
+        let empty = DfsBuilder::new().finish().unwrap();
+        let report = analyse(&empty).unwrap();
+        assert_eq!(report.period, 0.0);
+        assert_eq!(report.throughput, f64::INFINITY);
+        assert_eq!(report.critical.throughput(), f64::INFINITY);
+        // and on a live model the two throughputs coincide
+        let report = analyse(&ring(4, &[])).unwrap();
+        assert!((report.throughput - report.critical.throughput()).abs() < 1e-9);
+        assert_eq!(report.construction, Construction::Direct);
+    }
+
+    /// For a phase-unfolded report the critical cycle lives in the unfolded
+    /// graph: one token there is one hyper-period, i.e. `phases` items.
+    #[test]
+    fn unfolded_critical_cycle_is_hyper_period_scaled() {
+        let w = crate::wagging::wagged_pipeline(2, 1, 8.0).unwrap();
+        let report = analyse(&w.dfs).unwrap();
+        let Construction::PhaseUnfolded { phases } = report.construction else {
+            panic!("wagging must unfold");
+        };
+        assert_eq!(phases, 2);
+        assert!(
+            (report.critical.period() - f64::from(phases) * report.period).abs() < 1e-6,
+            "critical {} vs {} × {}",
+            report.critical.period(),
+            phases,
+            report.period
+        );
     }
 
     #[test]

@@ -320,6 +320,48 @@ mod tests {
         assert!(thr > 0.0);
     }
 
+    /// Excluded stages used to be analysed as if included (the event graph
+    /// abstracted every dynamic register as true-controlled). The phase
+    /// unfolding analyses the *configured* schedule: every depth of a
+    /// reconfigurable pipeline gets an exact period.
+    #[test]
+    fn every_depth_configuration_is_analysed_exactly() {
+        use crate::perf::{analyse, Construction};
+        use crate::timed::{measure_steady_period, ChoicePolicy};
+        for depth in 1..=3 {
+            let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, depth)).unwrap();
+            let report = analyse(&p.dfs).unwrap();
+            assert!(matches!(
+                report.construction,
+                Construction::PhaseUnfolded { .. }
+            ));
+            let steady =
+                measure_steady_period(&p.dfs, p.output, 200, ChoicePolicy::AlwaysTrue).unwrap();
+            assert!(
+                (report.period - steady.period).abs() <= 1e-9 * steady.period,
+                "depth {depth}: analysis {} vs steady {}",
+                report.period,
+                steady.period
+            );
+        }
+        // deeper configurations must not be reported as faster
+        let periods: Vec<f64> = (1..=3)
+            .map(|d| {
+                analyse(
+                    &build_pipeline(&PipelineSpec::reconfigurable_depth(3, d))
+                        .unwrap()
+                        .dfs,
+                )
+                .unwrap()
+                .period
+            })
+            .collect();
+        assert!(
+            periods.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "{periods:?}"
+        );
+    }
+
     #[test]
     fn linear_pipeline_lives() {
         let p = linear_pipeline(4, 1.0).unwrap();

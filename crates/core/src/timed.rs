@@ -18,6 +18,7 @@ use crate::state::DfsState;
 use crate::DfsError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// Policy deciding the value of a *free-choice* control register (one with
@@ -139,6 +140,55 @@ impl XorShift {
     }
 }
 
+/// An exact steady-state recurrence of the timed simulation, found by
+/// [`measure_steady_period`].
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyStatePeriod {
+    /// Exact steady-state period: time per token at the watched register.
+    pub period: f64,
+    /// Watched tokens per recurrence of the timed configuration (the
+    /// hyper-period of the schedule, e.g. `k` for k-way wagging — or a
+    /// multiple of it).
+    pub cycle_marks: u64,
+    /// Watched tokens produced before the recurrence closed.
+    pub transient_marks: u64,
+}
+
+/// Recurrence detector over timed configurations. A timed configuration is
+/// the untimed state plus the pending events with their time *offsets* from
+/// now (plus any scheduling-policy state); if the same configuration recurs
+/// the future evolution repeats shifted by a constant, so
+/// `Δtime / Δtokens` is the exact steady-state period — no asymptotic
+/// averaging involved.
+struct PeriodDetector {
+    seen: HashMap<ConfigKey, (u64, f64)>,
+    found: Option<SteadyStatePeriod>,
+    /// Offset quantisation grid, scaled to the model's delays.
+    quantum: f64,
+}
+
+type ConfigKey = (DfsState, Vec<(Event, i64)>, Vec<TokenValue>, u64);
+
+/// Offsets are keyed on a grid so float dust from long time accumulation
+/// cannot mask a genuine recurrence. The grid must sit far below the
+/// smallest delay of the model, or distinct offsets would collapse into
+/// the same key and fake a recurrence — hence the per-model scaling in
+/// [`measure_steady_period`] rather than a fixed constant.
+fn quantise(offset: f64, quantum: f64) -> i64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let q = (offset / quantum).round() as i64;
+    q
+}
+
+/// Event budget of the steady-state search: keeps the search finite even
+/// when the watched register never marks (e.g. a register starved by an
+/// excluded stage). Scaled from the requested mark count with orders of
+/// magnitude of headroom over any realistic hyper-period, clamped to keep
+/// tiny requests cheap and huge ones bounded.
+fn steady_state_event_budget(max_marks: u64) -> u64 {
+    max_marks.saturating_mul(50_000).clamp(200_000, 20_000_000)
+}
+
 /// Runs the timed simulation.
 ///
 /// # Errors
@@ -146,6 +196,14 @@ impl XorShift {
 /// [`DfsError::SimulationStalled`] when no event is pending before the stop
 /// condition is met (the model deadlocked under the chosen control values).
 pub fn simulate_timed(dfs: &Dfs, config: &TimedConfig) -> Result<TimedRun, DfsError> {
+    simulate_timed_with(dfs, config, None)
+}
+
+fn simulate_timed_with(
+    dfs: &Dfs,
+    config: &TimedConfig,
+    mut detector: Option<&mut PeriodDetector>,
+) -> Result<TimedRun, DfsError> {
     let mut state = DfsState::initial(dfs);
     let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
     let mut scheduled: HashSet<Event> = HashSet::new();
@@ -227,18 +285,8 @@ pub fn simulate_timed(dfs: &Dfs, config: &TimedConfig) -> Result<TimedRun, DfsEr
         fired += 1;
         let n = p.event.node();
         event_counts[n.index()] += 1;
-        if let Event::Mark(..) = p.event {
-            mark_counts[n.index()] += 1;
-            if let Some((watch, limit)) = config.stop_after_marks {
-                if n == watch {
-                    watch_times.push(now);
-                    if mark_counts[n.index()] >= limit {
-                        break;
-                    }
-                }
-            }
-        }
-        // schedule newly enabled events
+        // schedule newly enabled events (before the stop/detect bookkeeping,
+        // so a recurrence check sees the complete pending set)
         for ev in resolve(dfs.enabled_events(&state), &mut alternate_next, &mut rng) {
             if scheduled.contains(&ev) {
                 continue;
@@ -250,6 +298,42 @@ pub fn simulate_timed(dfs: &Dfs, config: &TimedConfig) -> Result<TimedRun, DfsEr
             });
             seq += 1;
             scheduled.insert(ev);
+        }
+        if let Event::Mark(..) = p.event {
+            mark_counts[n.index()] += 1;
+            if let Some((watch, limit)) = config.stop_after_marks {
+                if n == watch {
+                    watch_times.push(now);
+                    let marks = mark_counts[n.index()];
+                    if let Some(det) = detector.as_deref_mut() {
+                        // timed configuration: state + *all* pending
+                        // offsets + scheduling-policy state. Stale entries
+                        // (conditions lapsed since scheduling) must stay in
+                        // the key: they still shape the future — they
+                        // suppress rescheduling and may fire at their old
+                        // timestamp if re-enabled — so dropping them could
+                        // declare a false recurrence.
+                        let mut pending: Vec<(Event, i64)> = heap
+                            .iter()
+                            .map(|q| (q.event, quantise(q.time - now, det.quantum)))
+                            .collect();
+                        pending.sort_unstable();
+                        let key = (state.clone(), pending, alternate_next.clone(), rng.0);
+                        if let Some(&(marks0, t0)) = det.seen.get(&key) {
+                            det.found = Some(SteadyStatePeriod {
+                                period: (now - t0) / (marks - marks0) as f64,
+                                cycle_marks: marks - marks0,
+                                transient_marks: marks0,
+                            });
+                            break;
+                        }
+                        det.seen.insert(key, (marks, now));
+                    }
+                    if marks >= limit {
+                        break;
+                    }
+                }
+            }
         }
     }
 
@@ -291,6 +375,69 @@ pub fn measure_throughput(
             time: run.time,
             produced: run.watch_times.len() as u64,
         })
+}
+
+/// Measures the **exact** steady-state period at `output` by detecting a
+/// recurrence of the timed configuration (untimed state + pending-event
+/// offsets): once the configuration repeats, every later event is a
+/// time-shifted copy of an earlier one, so the period is `Δtime / Δtokens`
+/// with no warm-up averaging error. This is the independent oracle the
+/// phase-unfolded analysis ([`crate::perf::analyse`]) is certified against.
+///
+/// `max_marks` bounds the search (backed by a global event budget, so a
+/// watched register that never marks — e.g. one starved by an excluded
+/// stage — terminates too); deterministic schedules (any of the stateless
+/// or counter-based [`ChoicePolicy`] values) on live models recur within a
+/// few hyper-periods. A `Bernoulli` policy almost never recurs (the RNG
+/// state is part of the configuration) — expect `NoSteadyState` there.
+///
+/// # Errors
+///
+/// * [`DfsError::SimulationStalled`] — the model deadlocked.
+/// * [`DfsError::NoSteadyState`] — no recurrence within `max_marks` watched
+///   tokens (or the event budget), or `output` is a logic node (logic never
+///   fires `Mark` events, so there is nothing to watch — returned
+///   immediately).
+pub fn measure_steady_period(
+    dfs: &Dfs,
+    output: NodeId,
+    max_marks: u64,
+    choice: ChoicePolicy,
+) -> Result<SteadyStatePeriod, DfsError> {
+    if !dfs.kind(output).is_register() {
+        return Err(DfsError::NoSteadyState { marks: 0 });
+    }
+    // key offsets on a grid three decades under the smallest positive
+    // delay (capped at 1 µ-unit): coarse enough to absorb float dust,
+    // fine enough that sub-unit delay scales cannot alias distinct
+    // configurations into a false recurrence
+    let min_delay = dfs
+        .nodes()
+        .map(|n| dfs.node(n).delay)
+        .filter(|&d| d > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let quantum = if min_delay.is_finite() {
+        (min_delay * 1e-3).min(1e-6)
+    } else {
+        1e-6
+    };
+    let mut det = PeriodDetector {
+        seen: HashMap::new(),
+        found: None,
+        quantum,
+    };
+    let run = simulate_timed_with(
+        dfs,
+        &TimedConfig {
+            max_events: steady_state_event_budget(max_marks),
+            choice,
+            stop_after_marks: Some((output, max_marks)),
+        },
+        Some(&mut det),
+    )?;
+    det.found.ok_or(DfsError::NoSteadyState {
+        marks: run.watch_times.len() as u64,
+    })
 }
 
 #[cfg(test)]
@@ -408,6 +555,86 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run_alt.mark_counts[c.index()], 6);
+    }
+
+    #[test]
+    fn steady_period_detection_is_exact_on_rings() {
+        // 4-ring period 4, 3-ring bubble-limited period 6: the recurrence
+        // detector must report them exactly, with a short transient
+        for (n, expected) in [(4usize, 4.0), (3, 6.0)] {
+            let dfs = ring(n);
+            let out = dfs.node_by_name("r0").unwrap();
+            let steady = measure_steady_period(&dfs, out, 100, ChoicePolicy::AlwaysTrue).unwrap();
+            assert!(
+                (steady.period - expected).abs() < 1e-12,
+                "ring {n}: period {}",
+                steady.period
+            );
+            assert!(steady.cycle_marks >= 1);
+        }
+    }
+
+    #[test]
+    fn steady_period_rejects_logic_watch_nodes() {
+        // logic nodes never fire Mark events: watching one must error out
+        // immediately instead of spinning forever
+        let mut b = DfsBuilder::new();
+        let r0 = b.register("r0").marked().build();
+        let f = b.logic("f").build();
+        let r1 = b.register("r1").build();
+        let r2 = b.register("r2").build();
+        b.connect(r0, f);
+        b.connect(f, r1);
+        b.connect(r1, r2);
+        b.connect(r2, r0);
+        let dfs = b.finish().unwrap();
+        let f = dfs.node_by_name("f").unwrap();
+        assert!(matches!(
+            measure_steady_period(&dfs, f, 10, ChoicePolicy::AlwaysTrue),
+            Err(DfsError::NoSteadyState { marks: 0 })
+        ));
+    }
+
+    /// A live model whose *watched* register is starved (an excluded
+    /// stage's pipeline never moves) must hit the event budget and report
+    /// `NoSteadyState` instead of spinning forever.
+    #[test]
+    fn steady_period_terminates_when_the_watched_register_is_starved() {
+        use crate::pipelines::{build_pipeline, PipelineSpec};
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 1)).unwrap();
+        // stage 2 is excluded: its local pipeline register never marks
+        let starved = p.local_outs[1];
+        let err = measure_steady_period(&p.dfs, starved, 2, ChoicePolicy::AlwaysTrue).unwrap_err();
+        assert!(matches!(err, DfsError::NoSteadyState { marks: 0 }));
+    }
+
+    /// Sub-unit delay scales must not alias distinct pending offsets into
+    /// a false recurrence: the quantisation grid follows the model's
+    /// smallest delay.
+    #[test]
+    fn steady_period_is_exact_at_tiny_delay_scales() {
+        let mut b = DfsBuilder::new();
+        let scale = 2.5e-7;
+        let r0 = b.register("r0").marked().delay(scale).build();
+        let r1 = b.register("r1").delay(3.0 * scale).build();
+        let r2 = b.register("r2").delay(scale).build();
+        let r3 = b.register("r3").delay(scale).build();
+        b.connect(r0, r1);
+        b.connect(r1, r2);
+        b.connect(r2, r3);
+        b.connect(r3, r0);
+        let dfs = b.finish().unwrap();
+        let steady = measure_steady_period(&dfs, r0, 100, ChoicePolicy::AlwaysTrue).unwrap();
+        // the exact MCR analysis is the independent reference; a detector
+        // whose grid aliased distinct offsets would disagree with it
+        let report = crate::perf::analyse(&dfs).unwrap();
+        assert!(
+            (steady.period - report.period).abs() < 1e-9 * report.period,
+            "steady {} vs analysis {}",
+            steady.period,
+            report.period
+        );
+        assert!(steady.period > 0.0 && steady.period < 1e-5);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! The resulting throughput scales with `K` until the distributor/collector
 //! rings become the bottleneck — demonstrated in the tests and the
 //! `fig5_performance` experiment binary.
+//!
+//! Performance analysis of wagged models is **exact**: `perf::analyse`
+//! unfolds the event graph over the `K` phases of the rotating schedule
+//! (see [`crate::perf::unfold`]), so the reported period accounts for each
+//! way accepting a true token only every `K`-th item. The analysis is
+//! pinned equal to the timed simulator's steady-state period for up to 4
+//! ways × depth 3 in `tests/perf_cross_check.rs`.
 
 use crate::builder::DfsBuilder;
 use crate::graph::Dfs;
@@ -31,6 +38,9 @@ use crate::DfsError;
 pub struct Wagged {
     /// The model.
     pub dfs: Dfs,
+    /// Number of replica ways (the period of the rotating schedule, and the
+    /// phase count of the exact performance analysis).
+    pub ways: usize,
     /// The input register.
     pub input: NodeId,
     /// The aggregated output register.
@@ -125,6 +135,7 @@ pub fn wagged_pipeline(
     let dfs = b.finish()?;
     Ok(Wagged {
         dfs,
+        ways,
         input,
         output,
         entries,
@@ -169,6 +180,36 @@ mod tests {
             t2 > t1 * 1.4,
             "2-way wagging should speed up a slow stage: {t1} -> {t2}"
         );
+    }
+
+    /// The exactness defect this module used to carry: `perf::analyse`
+    /// abstracted every way as always-included and over-reported multi-way
+    /// throughput. Now the analysis itself must show the wagging speedup
+    /// *and* agree exactly with the simulator's steady-state period.
+    #[test]
+    fn analysis_reports_the_true_wagging_speedup() {
+        use crate::perf::analyse;
+        use crate::timed::measure_steady_period;
+        let slow = 8.0;
+        let base = wagged_pipeline(1, 1, slow).unwrap();
+        let wag2 = wagged_pipeline(2, 1, slow).unwrap();
+        assert_eq!((base.ways, wag2.ways), (1, 2));
+        let t1 = analyse(&base.dfs).unwrap().throughput;
+        let t2 = analyse(&wag2.dfs).unwrap().throughput;
+        assert!(
+            t2 > t1 * 1.4,
+            "analysis must see the wagging speedup: {t1} -> {t2}"
+        );
+        for w in [&base, &wag2] {
+            let analysed = analyse(&w.dfs).unwrap().period;
+            let steady = measure_steady_period(&w.dfs, w.output, 200, ChoicePolicy::AlwaysTrue)
+                .unwrap()
+                .period;
+            assert!(
+                (analysed - steady).abs() <= 1e-9 * steady,
+                "analysis {analysed} vs steady {steady}"
+            );
+        }
     }
 
     #[test]

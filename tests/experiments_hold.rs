@@ -124,6 +124,57 @@ fn sec3_table_is_exact() {
     );
 }
 
+/// Pins the corrected `fig5_performance` throughput numbers. The wagging
+/// rows are the ones the pre-unfolding analysis silently got wrong (it
+/// abstracted every way as always-included and under-reported the period);
+/// pinning them — against both the analysis and the simulator's exact
+/// steady-state oracle — keeps the experiment binaries from drifting back
+/// to the optimistic bound.
+#[test]
+fn fig5_throughput_numbers_are_exact_and_pinned() {
+    use rap::dfs::perf::{analyse, Construction};
+    use rap::dfs::timed::{measure_steady_period, ChoicePolicy};
+    use rap::dfs::wagging::wagged_pipeline;
+    use rap::ope::dfs_model::{reconfigurable_ope_dfs, static_ope_dfs};
+
+    // OPE pipeline rows (OPE stage latencies: f=1, g=2, reg=1, ctrl=0.5)
+    let st = analyse(&static_ope_dfs(6).unwrap().dfs).unwrap();
+    assert!((st.period - 25.0).abs() < 1e-9, "static OPE: {}", st.period);
+    assert_eq!(st.construction, Construction::Direct);
+    let rc = analyse(&reconfigurable_ope_dfs(6, 4).unwrap().dfs).unwrap();
+    assert!(
+        (rc.period - 19.0).abs() < 1e-9,
+        "reconfigurable OPE depth 4: {}",
+        rc.period
+    );
+    assert_eq!(rc.construction, Construction::PhaseUnfolded { phases: 1 });
+
+    // wagging rows (replicated stage delay 8.0): 1-way period 20; 2-way
+    // cuts it to 12 (environment-bound); a 3rd way buys nothing more
+    for (ways, period) in [(1usize, 20.0), (2, 12.0), (3, 12.0)] {
+        let w = wagged_pipeline(ways, 1, 8.0).unwrap();
+        let rep = analyse(&w.dfs).unwrap();
+        assert_eq!(
+            rep.construction,
+            Construction::PhaseUnfolded {
+                phases: ways as u32
+            }
+        );
+        assert!(
+            (rep.period - period).abs() < 1e-9,
+            "ways={ways}: analysis period {}",
+            rep.period
+        );
+        let steady =
+            measure_steady_period(&w.dfs, w.output, 200, ChoicePolicy::AlwaysTrue).unwrap();
+        assert!(
+            (steady.period - period).abs() < 1e-9,
+            "ways={ways}: simulator period {}",
+            steady.period
+        );
+    }
+}
+
 #[test]
 fn fig1_bypass_beats_always_compute_at_low_hit_rates() {
     use rap::dfs::examples::{conditional_dfs, conditional_sdfs};

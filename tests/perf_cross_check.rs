@@ -1,15 +1,19 @@
-//! Cross-check: the analytical max-cycle-ratio throughput bound
-//! (`perf::analyse`) agrees with the timed event-driven simulator
-//! (`timed::measure_throughput`) to 1e-6 on every conflict-free pipeline
-//! shape — linear, ring, wagging baseline, and the §III stage structures —
-//! beyond the single ring exercised in `end_to_end.rs`. For multi-way
-//! wagging the event graph abstracts every way as always-included, so the
-//! analysis is a *certified lower bound* there; that contract is pinned
-//! separately.
+//! Cross-check: the analytical max-cycle-ratio period (`perf::analyse`)
+//! agrees **exactly** with the timed event-driven simulator on every
+//! deterministic pipeline shape — linear, ring, the §III stage structures,
+//! and k-way wagging. Two independent oracles are used:
+//!
+//! * `timed::measure_throughput` — asymptotic averaging over a window
+//!   (kept for the choice-free shapes where it converges exactly);
+//! * `timed::measure_steady_period` — exact recurrence detection of the
+//!   timed configuration, which certifies the phase-unfolded analysis on
+//!   multi-way wagging with *strict equality*, replacing the former
+//!   lower-bound / asymptotic contract. The analysis is no longer allowed
+//!   to under-report the period anywhere on this grid.
 
-use rap::dfs::perf::analyse;
+use rap::dfs::perf::{analyse, Construction};
 use rap::dfs::pipelines::{build_pipeline, linear_pipeline, PipelineSpec};
-use rap::dfs::timed::{measure_throughput, ChoicePolicy};
+use rap::dfs::timed::{measure_steady_period, measure_throughput, ChoicePolicy};
 use rap::dfs::wagging::wagged_pipeline;
 use rap::dfs::{Dfs, DfsBuilder, NodeId};
 
@@ -25,11 +29,26 @@ fn assert_agreement(dfs: &Dfs, output: NodeId, label: &str) {
     );
 }
 
+/// Asserts strict equality between the analysis period and the simulator's
+/// steady-state recurrence period.
+fn assert_exact_period(dfs: &Dfs, output: NodeId, label: &str) {
+    let report = analyse(dfs).unwrap_or_else(|e| panic!("{label}: analysis failed: {e:?}"));
+    let steady = measure_steady_period(dfs, output, 500, ChoicePolicy::AlwaysTrue)
+        .unwrap_or_else(|e| panic!("{label}: no steady state: {e:?}"));
+    assert!(
+        (report.period - steady.period).abs() <= 1e-9 * steady.period.max(1.0),
+        "{label}: analysis period {} vs steady-state period {}",
+        report.period,
+        steady.period
+    );
+}
+
 #[test]
 fn linear_pipelines_agree() {
     for (n, f_delay) in [(2usize, 1.0), (4, 2.5), (6, 0.75)] {
         let p = linear_pipeline(n, f_delay).unwrap();
         assert_agreement(&p.dfs, p.output, &format!("linear n={n} f={f_delay}"));
+        assert_exact_period(&p.dfs, p.output, &format!("linear n={n} f={f_delay}"));
     }
 }
 
@@ -58,21 +77,19 @@ fn rings_with_heterogeneous_delays_agree() {
         }
         let dfs = b.finish().unwrap();
         assert_agreement(&dfs, regs[0], &format!("ring {delays:?}"));
+        assert_exact_period(&dfs, regs[0], &format!("ring {delays:?}"));
     }
 }
 
 /// The 1-way wagged pipeline (guarded push/pop, rotating control rings,
-/// marked environment buffers) is the wagging baseline: analysis and
-/// simulation must agree exactly. This shape regresses if the event graph
-/// mishandles adjacent initially-marked registers or guard dependencies.
+/// marked environment buffers) is the wagging baseline. With the exact
+/// steady-state oracle, depth ≥ 3 no longer needs an asymptotic carve-out:
+/// every depth agrees strictly.
 #[test]
-fn wagging_baseline_agrees() {
-    // depths 1–2 agree to machine precision; at depth >= 3 the measured
-    // throughput approaches the bound only asymptotically (a fixed phase
-    // offset decaying as 1/window), so those live under the bounded check
-    for (depth, delay) in [(1usize, 1.0), (2, 1.0), (2, 2.0)] {
+fn wagging_baseline_is_exact() {
+    for (depth, delay) in [(1usize, 1.0), (2, 1.0), (2, 2.0), (3, 1.0), (3, 4.0)] {
         let w = wagged_pipeline(1, depth, delay).unwrap();
-        assert_agreement(
+        assert_exact_period(
             &w.dfs,
             w.output,
             &format!("wagging depth={depth} delay={delay}"),
@@ -80,24 +97,37 @@ fn wagging_baseline_agrees() {
     }
 }
 
-/// Multi-way wagging: the always-included event-graph abstraction makes
-/// `analyse` a guaranteed throughput floor, and round-robin steering can at
-/// best multiply it by the number of ways.
+/// Multi-way wagging: the phase-unfolded event graph makes `analyse` exact
+/// — strict equality against the simulator's steady-state period for
+/// k ∈ {2, 3, 4} ways and replica depth ∈ {1, 2, 3}, replacing the former
+/// certified-lower-bound contract.
 #[test]
-fn multiway_wagging_is_bounded_by_analysis() {
-    for (ways, depth, delay) in [(2usize, 1usize, 8.0), (2, 2, 1.0), (3, 2, 1.0)] {
-        let w = wagged_pipeline(ways, depth, delay).unwrap();
-        let bound = analyse(&w.dfs).unwrap().throughput;
-        let measured =
-            measure_throughput(&w.dfs, w.output, 20, 200, ChoicePolicy::AlwaysTrue).unwrap();
-        assert!(
-            measured >= bound - 1e-9,
-            "ways={ways}: measured {measured} below analysis floor {bound}"
-        );
-        assert!(
-            measured <= ways as f64 * bound + 1e-9,
-            "ways={ways}: measured {measured} above {ways}x analysis bound {bound}"
-        );
+fn multiway_wagging_is_exact() {
+    for ways in [2usize, 3, 4] {
+        for depth in [1usize, 2, 3] {
+            let w = wagged_pipeline(ways, depth, 3.0).unwrap();
+            let label = format!("ways={ways} depth={depth}");
+            let report = analyse(&w.dfs).unwrap();
+            assert_eq!(
+                report.construction,
+                Construction::PhaseUnfolded {
+                    phases: ways as u32
+                },
+                "{label}: k-way wagging must unfold over k phases"
+            );
+            assert_exact_period(&w.dfs, w.output, &label);
+        }
+    }
+}
+
+/// The heavy-bottleneck configuration of the paper's wagging pitch (slow
+/// replicated stage, delay 8): exactness must also hold where wagging
+/// actually pays off.
+#[test]
+fn multiway_wagging_with_slow_stage_is_exact() {
+    for ways in [2usize, 3, 4] {
+        let w = wagged_pipeline(ways, 1, 8.0).unwrap();
+        assert_exact_period(&w.dfs, w.output, &format!("slow-stage ways={ways}"));
     }
 }
 
@@ -106,13 +136,23 @@ fn built_pipeline_specs_agree() {
     for (label, spec) in [
         ("fully_static(3)", PipelineSpec::fully_static(3)),
         ("fully_static(5)", PipelineSpec::fully_static(5)),
-        // all stages included: the configuration the event graph analyses
+        // all stages included
         (
             "reconfigurable(3,3)",
             PipelineSpec::reconfigurable_depth(3, 3),
         ),
+        // excluded tail stages: the unfolding analyses the *configured*
+        // schedule instead of pretending every stage is included
+        (
+            "reconfigurable(3,1)",
+            PipelineSpec::reconfigurable_depth(3, 1),
+        ),
+        (
+            "reconfigurable(4,2)",
+            PipelineSpec::reconfigurable_depth(4, 2),
+        ),
     ] {
         let p = build_pipeline(&spec).unwrap();
-        assert_agreement(&p.dfs, p.output, label);
+        assert_exact_period(&p.dfs, p.output, label);
     }
 }

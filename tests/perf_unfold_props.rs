@@ -1,0 +1,135 @@
+//! Property tests for the phase-unfolded performance analysis.
+//!
+//! Two contracts:
+//!
+//! * On random **choice-free** shapes the phase unfolding must be a
+//!   conservative extension: the unfolded graph's period equals the direct
+//!   event graph's period exactly (the replay degenerates to the same
+//!   marked graph, possibly replicated).
+//! * On random **wagged** shapes (the choice structures the unfolding
+//!   exists for) `perf::analyse` must equal the timed simulator's
+//!   exact steady-state period — the full analysis == oracle contract on
+//!   randomised instances, not just the pinned grid of
+//!   `perf_cross_check.rs`.
+
+use proptest::prelude::*;
+use rap::dfs::perf::mcr::maximum_cycle_ratio;
+use rap::dfs::perf::unfold::unfold;
+use rap::dfs::perf::{analyse, Construction, EventGraph};
+use rap::dfs::timed::{measure_steady_period, ChoicePolicy};
+use rap::dfs::wagging::wagged_pipeline;
+use rap::dfs::{Dfs, DfsBuilder, NodeId};
+
+const DELAYS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Random live ring: `n` registers, dyadic delays, token at 0 and (when the
+/// spacing leaves three-register gaps) a second token opposite.
+fn arb_ring() -> impl Strategy<Value = Dfs> {
+    (
+        3usize..9,
+        proptest::collection::vec(0usize..DELAYS.len(), 9),
+        any::<bool>(),
+    )
+        .prop_map(|(n, idx, two_tokens)| {
+            let mut b = DfsBuilder::new();
+            let second = if two_tokens && n >= 6 {
+                Some(n / 2)
+            } else {
+                None
+            };
+            let regs: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    let nb = b.register(format!("r{i}")).delay(DELAYS[idx[i]]);
+                    if i == 0 || Some(i) == second {
+                        nb.marked().build()
+                    } else {
+                        nb.build()
+                    }
+                })
+                .collect();
+            for i in 0..n {
+                b.connect(regs[i], regs[(i + 1) % n]);
+            }
+            b.finish().unwrap()
+        })
+}
+
+/// Random closed pipeline with logic between registers (a ring where every
+/// other hop passes through a logic node of random delay).
+fn arb_logic_ring() -> impl Strategy<Value = Dfs> {
+    (
+        2usize..5,
+        proptest::collection::vec(0usize..DELAYS.len(), 8),
+    )
+        .prop_map(|(stages, idx)| {
+            let mut b = DfsBuilder::new();
+            let input = b.register("in").marked().delay(DELAYS[idx[0]]).build();
+            let mut prev = input;
+            for s in 0..stages {
+                let f = b.logic(format!("f{s}")).delay(DELAYS[idx[s + 1]]).build();
+                let r = b.register(format!("r{s}")).build();
+                b.connect(prev, f);
+                b.connect(f, r);
+                prev = r;
+            }
+            // extra empty register keeps small instances bubble-live
+            let buf = b.register("buf").build();
+            b.connect(prev, buf);
+            b.connect(buf, input);
+            b.finish().unwrap()
+        })
+}
+
+fn unfolded_period(dfs: &Dfs) -> f64 {
+    let u = unfold(dfs).expect("live choice-free model unfolds");
+    let sol = maximum_cycle_ratio(&u.graph).expect("unfolded graph is live");
+    sol.ratio / f64::from(u.items_per_period)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Choice-free rings: unfolded period == direct event-graph period.
+    #[test]
+    fn random_rings_unfold_to_the_direct_period(dfs in arb_ring()) {
+        let direct = maximum_cycle_ratio(&EventGraph::build(&dfs)).unwrap();
+        let unfolded = unfolded_period(&dfs);
+        prop_assert!(
+            (unfolded - direct.ratio).abs() <= 1e-9 * direct.ratio.max(1.0),
+            "unfolded {} vs direct {}", unfolded, direct.ratio
+        );
+        // and the public API picks the direct construction here
+        let report = analyse(&dfs).unwrap();
+        prop_assert_eq!(report.construction, Construction::Direct);
+        prop_assert!((report.period - unfolded).abs() <= 1e-9 * unfolded.max(1.0));
+    }
+
+    /// Choice-free pipelines with logic: same conservative-extension check.
+    #[test]
+    fn random_logic_rings_unfold_to_the_direct_period(dfs in arb_logic_ring()) {
+        let direct = maximum_cycle_ratio(&EventGraph::build(&dfs)).unwrap();
+        let unfolded = unfolded_period(&dfs);
+        prop_assert!(
+            (unfolded - direct.ratio).abs() <= 1e-9 * direct.ratio.max(1.0),
+            "unfolded {} vs direct {}", unfolded, direct.ratio
+        );
+    }
+
+    /// Random wagged shapes: analysis == simulator steady-state period.
+    #[test]
+    fn random_wagged_shapes_match_the_simulator(
+        ways in 1usize..4,
+        depth in 1usize..3,
+        delay_idx in 0usize..DELAYS.len(),
+    ) {
+        let w = wagged_pipeline(ways, depth, DELAYS[delay_idx]).unwrap();
+        let report = analyse(&w.dfs).unwrap();
+        let steady =
+            measure_steady_period(&w.dfs, w.output, 500, ChoicePolicy::AlwaysTrue).unwrap();
+        prop_assert!(
+            (report.period - steady.period).abs() <= 1e-9 * steady.period.max(1.0),
+            "ways={} depth={} delay={}: analysis {} vs steady {}",
+            ways, depth, DELAYS[delay_idx], report.period, steady.period
+        );
+    }
+}
