@@ -10,7 +10,7 @@ use dfs_core::{to_petri, Lts};
 use rap_petri::reachability::{explore, explore_naive_truncated, ExploreConfig};
 
 fn bench_reachability(c: &mut Criterion) {
-    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 2)).unwrap();
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 2).unwrap()).unwrap();
     let img = to_petri(&p.dfs);
     c.bench_function("pn_reachability_reconfig_2stage", |b| {
         b.iter(|| explore(&img.net, ExploreConfig::default()).unwrap().len())
@@ -24,7 +24,7 @@ fn bench_reachability(c: &mut Criterion) {
 /// against the incremental engine the production paths now use. The wider
 /// sweep (and the recorded JSON) lives in the `state_space_scaling` binary.
 fn bench_state_space_engine(c: &mut Criterion) {
-    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 2)).unwrap();
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 2).unwrap()).unwrap();
     let img = to_petri(&p.dfs);
     c.bench_function("pn_explore_naive_reconfig_2stage", |b| {
         b.iter(|| explore_naive_truncated(&img.net, ExploreConfig::default()).len())
@@ -41,14 +41,14 @@ fn bench_state_space_engine(c: &mut Criterion) {
 }
 
 fn bench_translation(c: &mut Criterion) {
-    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(18, 9)).unwrap();
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(18, 9).unwrap()).unwrap();
     c.bench_function("to_petri_ope18", |b| {
         b.iter(|| to_petri(&p.dfs).net.transition_count())
     });
 }
 
 fn bench_timed_sim(c: &mut Criterion) {
-    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(6, 6)).unwrap();
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(6, 6).unwrap()).unwrap();
     c.bench_function("timed_sim_6stage_100tokens", |b| {
         b.iter(|| measure_throughput(&p.dfs, p.output, 5, 100, ChoicePolicy::AlwaysTrue).unwrap())
     });

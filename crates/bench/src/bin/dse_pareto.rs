@@ -1,0 +1,160 @@
+//! DSE — design-space exploration over the paper's configuration space.
+//!
+//! Sweeps 576 configurations (static / reconfigurable / wagged OPE
+//! hardware × workload window demands × datapath sizing × supply voltage)
+//! through the `rap-dse` engine and prints the exact Pareto front over
+//! (throughput, energy per item, area) for every demand, persisting the
+//! measurements to `BENCH_dse.json` at the repository root. The paper's
+//! OPE(6,4) design point — reconfigurable, 6 stages, operating depth 4,
+//! nominal sizing and supply — must appear on the demand-4 front, with
+//! its exact period-19 row from `fig5_performance`.
+//!
+//! Usage: `dse_pareto [--quick] [--out PATH]`
+//!
+//! `--quick` sweeps the 48-point smoke space over 3-stage hardware (the
+//! CI configuration) and additionally cross-checks the parallel driver
+//! against a single-threaded run; `--out` overrides the output path. The
+//! emitted JSON is schema-validated before the process exits.
+
+use rap_bench::dse::{design_point, render_json, run_sweep, validate};
+use rap_bench::{banner, num, row};
+use rap_dse::{explore, DseConfig};
+use rap_silicon::cost::CostModel;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path argument");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (expected --quick / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dse.json"));
+
+    banner(if quick {
+        "Design-space exploration (quick smoke space)"
+    } else {
+        "Design-space exploration: which pipeline should I build?"
+    });
+
+    let run = run_sweep(quick);
+    let stats = run.outcome.stats;
+    println!(
+        "{} configurations in {} ms on {} threads: {} full evaluations, \
+         {} memo hits, {} pruned as provably dominated\n",
+        stats.enumerated,
+        num(run.elapsed_ms, 0),
+        run.threads,
+        stats.full_evaluations,
+        stats.memo_hits,
+        stats.pruned,
+    );
+
+    let widths = [34usize, 13, 13, 9, 8];
+    for (workload, front) in &run.outcome.fronts {
+        println!(
+            "## demand: window depth {workload} — {} Pareto points",
+            front.len()
+        );
+        println!(
+            "{}",
+            row(
+                &[
+                    "configuration".into(),
+                    "items/s".into(),
+                    "energy/item[J]".into(),
+                    "area[GE]".into(),
+                    "period".into(),
+                ],
+                &widths
+            )
+        );
+        for e in front {
+            println!(
+                "{}",
+                row(
+                    &[
+                        e.label.clone(),
+                        format!("{:.3e}", e.objectives.throughput),
+                        format!("{:.3e}", e.objectives.energy_per_item),
+                        format!("{:.0}", e.objectives.area),
+                        num(e.period_units, 2),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+
+    let (dp_label, dp_workload) = design_point(quick);
+    let on_front = run
+        .outcome
+        .front(dp_workload)
+        .iter()
+        .any(|e| e.label == dp_label);
+    println!("design point `{dp_label}` on the demand-{dp_workload} front: {on_front}");
+    if !on_front {
+        eprintln!("ACCEPTANCE FAILURE: the design point fell off its front");
+        std::process::exit(1);
+    }
+
+    if quick {
+        // cross-check the parallel driver against a single-threaded sweep
+        let serial = explore(
+            &rap_bench::dse::paper_space(true),
+            &CostModel::default(),
+            &DseConfig {
+                threads: 1,
+                ..DseConfig::default()
+            },
+        );
+        let same = serial.fronts.len() == run.outcome.fronts.len()
+            && serial.fronts.iter().all(|(w, f)| {
+                run.outcome.front(*w).len() == f.len()
+                    && run
+                        .outcome
+                        .front(*w)
+                        .iter()
+                        .zip(f)
+                        .all(|(a, b)| a.label == b.label)
+            });
+        println!("single-threaded cross-check: fronts identical = {same}");
+        if !same {
+            eprintln!("ACCEPTANCE FAILURE: parallel and serial fronts differ");
+            std::process::exit(1);
+        }
+    }
+
+    let json = render_json(&run);
+    let summary = validate(&json).unwrap_or_else(|e| {
+        eprintln!("emitted JSON failed its own schema validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    println!(
+        "\n{} configurations ({} full, {} memoized, {} pruned) — written to {}",
+        summary.configurations,
+        summary.full_evaluations,
+        summary.memo_hits,
+        summary.pruned,
+        out.display()
+    );
+}

@@ -21,7 +21,7 @@ fn main() {
     println!("## correct initialisations (3-stage model, every depth)\n");
     println!("depth  states   deadlocks  mismatch  hazards");
     for depth in 1..=3 {
-        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, depth)).unwrap();
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, depth).unwrap()).unwrap();
         let report = verify(&p.dfs, &cfg).unwrap();
         println!(
             "{depth:>5}  {:>7}  {:>9}  {:>8}  {:>7}",

@@ -66,4 +66,13 @@ fn main() {
     }
     let floor = m.leakage_power(0.34) * 1e6;
     println!("leakage floor at 0.34 V: {floor:.3} uW");
+
+    // energy accounting straight from the trace (trapezoidal integrals —
+    // no ad-hoc sums): the freeze window costs leakage only
+    let total_mj = trace.total_energy() * 1e3;
+    let frozen_mj = trace.energy_between(50.0, 62.0) * 1e3;
+    println!(
+        "energy: {total_mj:.4} mJ total, of which {frozen_mj:.4} mJ leaked \
+         while frozen (t = 50..62 s)"
+    );
 }

@@ -1,0 +1,427 @@
+//! The `dse_pareto` sweep: the paper's design space explored end to end,
+//! persisted as `BENCH_dse.json`.
+//!
+//! The full space is the OPE product requirement of §III/§IV — hardware
+//! that can serve window demands up to 6 — crossed with the operating
+//! conditions the paper measures: static, reconfigurable (with and
+//! without the shared-loop optimisation) and 1–3-way wagged-replicated
+//! pipelines, a 4-point datapath sizing grid and a 4-point supply grid,
+//! evaluated at every demanded depth 1–6. That is 576 distinct
+//! configurations, of which only the distinct *structures* (64) ever pay
+//! for a full evaluation — the memo and pruning counters in the emitted
+//! JSON record exactly how much work the driver avoided.
+//!
+//! The acceptance anchor is the paper's design point: the reconfigurable
+//! OPE pipeline, 6 stages, operating at depth 4, nominal sizing and
+//! supply — `fig5_performance`'s exact period-19 row — must appear on the
+//! demand-4 Pareto front.
+
+use crate::json::{escape, Json};
+use rap_dse::pareto::Objectives;
+use rap_dse::{explore, DesignSpace, DseConfig, DseOutcome, Hardware};
+use rap_ope::dfs_model::ope_stage_delays;
+use rap_silicon::cost::CostModel;
+use std::time::Instant;
+
+/// Schema tag embedded in (and required from) the emitted JSON.
+pub const SCHEMA: &str = "rap/dse-pareto/v1";
+
+/// The label of the paper's design point in the full sweep.
+pub const PAPER_DESIGN_POINT: &str = "reconfigurable(6)@d4 s1 1.2V";
+
+/// The exact period of the paper's design point (model time units; the
+/// `fig5_performance` row pinned in `tests/experiments_hold.rs`).
+pub const PAPER_DESIGN_PERIOD: f64 = 19.0;
+
+/// The demand class whose front anchors the acceptance check.
+pub const PAPER_WORKLOAD: usize = 4;
+
+/// The full paper space (576 configurations) or the CI smoke space
+/// (`quick`, 48 configurations over 3-stage hardware).
+#[must_use]
+pub fn paper_space(quick: bool) -> DesignSpace {
+    if quick {
+        DesignSpace {
+            hardware: vec![
+                Hardware::Static { stages: 3 },
+                Hardware::Reconfigurable {
+                    stages: 3,
+                    share_ctrl: true,
+                },
+                Hardware::Wagged { ways: 1, stages: 3 },
+                Hardware::Wagged { ways: 2, stages: 3 },
+            ],
+            workloads: vec![1, 2, 3],
+            sizings: vec![1.0, 1.5],
+            voltages: vec![0.9, 1.2],
+            delays: ope_stage_delays(),
+        }
+    } else {
+        DesignSpace {
+            hardware: vec![
+                Hardware::Static { stages: 6 },
+                Hardware::Reconfigurable {
+                    stages: 6,
+                    share_ctrl: true,
+                },
+                Hardware::Reconfigurable {
+                    stages: 6,
+                    share_ctrl: false,
+                },
+                Hardware::Wagged { ways: 1, stages: 6 },
+                Hardware::Wagged { ways: 2, stages: 6 },
+                Hardware::Wagged { ways: 3, stages: 6 },
+            ],
+            workloads: (1..=6).collect(),
+            sizings: vec![0.75, 1.0, 1.5, 2.0],
+            voltages: vec![0.7, 0.9, 1.2, 1.6],
+            delays: ope_stage_delays(),
+        }
+    }
+}
+
+/// A completed sweep with its timing.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The outcome.
+    pub outcome: DseOutcome,
+    /// Wall-clock of the sweep (ms).
+    pub elapsed_ms: f64,
+    /// Threads used.
+    pub threads: usize,
+    /// Quick space?
+    pub quick: bool,
+}
+
+/// Runs the sweep with the default driver configuration.
+///
+/// # Panics
+///
+/// Panics if the sweep hits evaluation errors or, in the full space, if
+/// the documented depth-monotonicity assumption behind the sibling
+/// pruning bound is violated by the recorded evaluations (a tripwire; the
+/// front-equivalence property is additionally tested with pruning
+/// disabled in `rap-dse`'s test-suite).
+#[must_use]
+pub fn run_sweep(quick: bool) -> SweepRun {
+    let space = paper_space(quick);
+    let cost = CostModel::default();
+    let cfg = DseConfig::default();
+    let t0 = Instant::now();
+    let outcome = explore(&space, &cost, &cfg);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(outcome.stats.errors, 0, "sweep produced evaluation errors");
+    assert_eq!(
+        outcome.stats.check_violations, 0,
+        "a swept configuration failed its verification screen"
+    );
+    // tripwire for the sibling bound's monotonicity assumption: among the
+    // recorded evaluations, a reconfigurable point must never get faster
+    // when operating deeper (same hardware and sizing)
+    for a in &outcome.evaluations {
+        for b in &outcome.evaluations {
+            if a.config.hardware == b.config.hardware
+                && matches!(a.config.hardware, Hardware::Reconfigurable { .. })
+                && a.config.sizing == b.config.sizing
+                && a.config.workload < b.config.workload
+            {
+                assert!(
+                    a.period_units <= b.period_units + 1e-9,
+                    "depth monotonicity violated: {} ({}) vs {} ({})",
+                    a.label,
+                    a.period_units,
+                    b.label,
+                    b.period_units
+                );
+            }
+        }
+    }
+    SweepRun {
+        outcome,
+        elapsed_ms,
+        threads: cfg.threads,
+        quick,
+    }
+}
+
+fn check_tag(truncated: bool) -> &'static str {
+    if truncated {
+        "inconclusive"
+    } else {
+        "clean"
+    }
+}
+
+/// Renders a sweep as the `BENCH_dse.json` document.
+#[must_use]
+pub fn render_json(run: &SweepRun) -> String {
+    let stats = run.outcome.stats;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", escape(SCHEMA)));
+    out.push_str(&format!("  \"quick\": {},\n", run.quick));
+    out.push_str(&format!("  \"threads\": {},\n", run.threads));
+    out.push_str(&format!("  \"elapsed_ms\": {:.3},\n", run.elapsed_ms));
+    out.push_str("  \"stats\": {\n");
+    out.push_str(&format!("    \"configurations\": {},\n", stats.enumerated));
+    out.push_str(&format!(
+        "    \"full_evaluations\": {},\n",
+        stats.full_evaluations
+    ));
+    out.push_str(&format!("    \"memo_hits\": {},\n", stats.memo_hits));
+    out.push_str(&format!("    \"pruned\": {},\n", stats.pruned));
+    out.push_str(&format!(
+        "    \"check_inconclusive\": {}\n",
+        stats.check_inconclusive
+    ));
+    out.push_str("  },\n");
+
+    let (dp_label, dp_workload) = design_point(run.quick);
+    let dp = run
+        .outcome
+        .front(dp_workload)
+        .iter()
+        .find(|e| e.label == dp_label);
+    out.push_str("  \"design_point\": {\n");
+    out.push_str(&format!("    \"label\": {},\n", escape(dp_label)));
+    out.push_str(&format!("    \"workload\": {dp_workload},\n"));
+    out.push_str(&format!("    \"on_front\": {},\n", dp.is_some()));
+    out.push_str(&format!(
+        "    \"period_units\": {}\n",
+        dp.map_or_else(|| "null".to_string(), |e| format!("{:.6}", e.period_units))
+    ));
+    out.push_str("  },\n");
+
+    out.push_str("  \"fronts\": [\n");
+    let fronts: Vec<_> = run.outcome.fronts.iter().collect();
+    for (fi, (workload, front)) in fronts.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workload\": {workload},\n"));
+        out.push_str("      \"points\": [\n");
+        for (pi, e) in front.iter().enumerate() {
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"label\": {},\n", escape(&e.label)));
+            // lossless emission: near-ties (e.g. the shared- vs
+            // separate-loop variants at the same period) must not collapse
+            // into exact ties, or the validator's dominance re-check would
+            // disagree with the full-precision kernel
+            out.push_str(&format!(
+                "          \"throughput\": {:e},\n",
+                e.objectives.throughput
+            ));
+            out.push_str(&format!(
+                "          \"energy_per_item\": {:e},\n",
+                e.objectives.energy_per_item
+            ));
+            out.push_str(&format!("          \"area\": {:e},\n", e.objectives.area));
+            out.push_str(&format!(
+                "          \"period_units\": {:.6},\n",
+                e.period_units
+            ));
+            out.push_str(&format!("          \"phases\": {},\n", e.phases));
+            out.push_str(&format!("          \"memoized\": {},\n", e.memoized));
+            out.push_str(&format!(
+                "          \"check\": {}\n",
+                escape(check_tag(e.check_truncated))
+            ));
+            out.push_str(if pi + 1 == front.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if fi + 1 == fronts.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// The acceptance design point per mode: the paper's OPE(6,4) row in the
+/// full space, its 3-stage analogue in the quick space.
+#[must_use]
+pub fn design_point(quick: bool) -> (&'static str, usize) {
+    if quick {
+        ("reconfigurable(3)@d2 s1 1.2V", 2)
+    } else {
+        (PAPER_DESIGN_POINT, PAPER_WORKLOAD)
+    }
+}
+
+/// Summary extracted from a valid `BENCH_dse.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Enumerated configurations.
+    pub configurations: usize,
+    /// Full structural evaluations performed.
+    pub full_evaluations: usize,
+    /// Memo-table hits.
+    pub memo_hits: usize,
+    /// Pruned configurations.
+    pub pruned: usize,
+    /// Per workload: front size.
+    pub front_sizes: Vec<(usize, usize)>,
+    /// Was the mode's design point on its front?
+    pub design_point_on_front: bool,
+}
+
+/// Validates a `BENCH_dse.json` document against the v1 schema and the
+/// semantic invariants of the sweep, returning its summary.
+///
+/// Beyond shape checks, this re-verifies that every emitted front is
+/// mutually non-dominated and sorted by descending throughput, that the
+/// work accounting adds up (`full + memo + pruned = configurations`), and
+/// — for full (non-quick) documents — that the sweep covered ≥ 500
+/// configurations, that memoization plus pruning measurably reduced full
+/// evaluations, and that the paper's OPE(6,4) design point sits on the
+/// demand-4 front with its pinned period.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn validate(src: &str) -> Result<Summary, String> {
+    let doc = Json::parse(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    let quick = doc
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean \"quick\"")?;
+    doc.get("elapsed_ms")
+        .and_then(Json::as_f64)
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .ok_or("missing non-negative \"elapsed_ms\"")?;
+
+    let stats = doc.get("stats").ok_or("missing \"stats\"")?;
+    let stat = |k: &str| -> Result<usize, String> {
+        stats
+            .get(k)
+            .and_then(Json::as_f64)
+            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as usize)
+            .ok_or(format!("stats: missing count \"{k}\""))
+    };
+    let configurations = stat("configurations")?;
+    let full_evaluations = stat("full_evaluations")?;
+    let memo_hits = stat("memo_hits")?;
+    let pruned = stat("pruned")?;
+    if full_evaluations + memo_hits + pruned != configurations {
+        return Err(format!(
+            "work accounting broken: {full_evaluations} + {memo_hits} + {pruned} != {configurations}"
+        ));
+    }
+
+    let fronts = doc
+        .get("fronts")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"fronts\" array")?;
+    if fronts.is_empty() {
+        return Err("\"fronts\" is empty".to_string());
+    }
+    let mut front_sizes = Vec::new();
+    for f in fronts {
+        let workload = f
+            .get("workload")
+            .and_then(Json::as_f64)
+            .ok_or("front: missing \"workload\"")? as usize;
+        let points = f
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("front: missing \"points\"")?;
+        if points.is_empty() {
+            return Err(format!("front for workload {workload} is empty"));
+        }
+        let mut objs: Vec<Objectives> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let num = |k: &str| -> Result<f64, String> {
+                p.get(k)
+                    .and_then(Json::as_f64)
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or(format!(
+                        "workload {workload} point {i}: \"{k}\" not a positive number"
+                    ))
+            };
+            p.get("label")
+                .and_then(Json::as_str)
+                .ok_or(format!("workload {workload} point {i}: missing label"))?;
+            objs.push(Objectives {
+                throughput: num("throughput")?,
+                energy_per_item: num("energy_per_item")?,
+                area: num("area")?,
+            });
+            num("period_units")?;
+        }
+        for (i, a) in objs.iter().enumerate() {
+            if i + 1 < objs.len() && a.throughput < objs[i + 1].throughput {
+                return Err(format!(
+                    "workload {workload}: front not sorted by descending throughput at {i}"
+                ));
+            }
+            for (j, b) in objs.iter().enumerate() {
+                if i != j && a.dominates(b) {
+                    return Err(format!(
+                        "workload {workload}: front point {i} dominates point {j}"
+                    ));
+                }
+            }
+        }
+        front_sizes.push((workload, points.len()));
+    }
+
+    let dp = doc.get("design_point").ok_or("missing \"design_point\"")?;
+    let on_front = dp
+        .get("on_front")
+        .and_then(Json::as_bool)
+        .ok_or("design_point: missing \"on_front\"")?;
+    if !on_front {
+        return Err("the design point is not on its Pareto front".to_string());
+    }
+    let dp_label = dp
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("design_point: missing \"label\"")?;
+
+    if !quick {
+        if configurations < 500 {
+            return Err(format!(
+                "full sweep covered only {configurations} configurations (need >= 500)"
+            ));
+        }
+        if memo_hits == 0 || full_evaluations >= configurations {
+            return Err("memoization/pruning did not reduce full evaluations".to_string());
+        }
+        if dp_label != PAPER_DESIGN_POINT {
+            return Err(format!(
+                "full-sweep design point is {dp_label:?}, expected {PAPER_DESIGN_POINT:?}"
+            ));
+        }
+        let period = dp
+            .get("period_units")
+            .and_then(Json::as_f64)
+            .ok_or("design_point: missing \"period_units\"")?;
+        if (period - PAPER_DESIGN_PERIOD).abs() > 1e-6 {
+            return Err(format!(
+                "design-point period {period} drifted from the pinned {PAPER_DESIGN_PERIOD}"
+            ));
+        }
+    }
+
+    Ok(Summary {
+        configurations,
+        full_evaluations,
+        memo_hits,
+        pruned,
+        front_sizes,
+        design_point_on_front: on_front,
+    })
+}

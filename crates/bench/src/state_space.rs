@@ -107,7 +107,7 @@ fn lts_case(name: &str, dfs: &Dfs, reps: usize) -> Case {
 #[must_use]
 pub fn run_sweep(quick: bool) -> Vec<Case> {
     let reconfig = |n: usize, k: usize| {
-        build_pipeline(&PipelineSpec::reconfigurable_depth(n, k))
+        build_pipeline(&PipelineSpec::reconfigurable_depth(n, k).expect("valid sweep shape"))
             .expect("pipeline builds")
             .dfs
     };

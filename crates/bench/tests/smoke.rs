@@ -49,6 +49,26 @@ bin_smoke! {
     smoke_table_ranklists => "table_ranklists",
 }
 
+/// The DSE binary: quick sweep into a scratch file, then check the emitted
+/// JSON independently against the schema validator (the binary also
+/// self-validates — and cross-checks parallel vs serial fronts — before
+/// exiting 0).
+#[test]
+fn smoke_dse_pareto() {
+    let out_path =
+        std::env::temp_dir().join(format!("rap_bench_dse_smoke_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&out_path);
+    run_bin_with(
+        "dse_pareto",
+        &["--quick", "--out", out_path.to_str().unwrap()],
+    );
+    let json = std::fs::read_to_string(&out_path).expect("binary wrote the JSON file");
+    let summary = rap_bench::dse::validate(&json).expect("emitted JSON is schema-valid");
+    assert!(summary.design_point_on_front);
+    assert!(summary.configurations >= 48);
+    let _ = std::fs::remove_file(&out_path);
+}
+
 /// The perf-trajectory binary: quick sweep into a scratch file, then check
 /// the emitted JSON independently against the schema validator (the binary
 /// also self-validates before exiting 0).

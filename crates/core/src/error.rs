@@ -27,6 +27,13 @@ pub enum DfsError {
     },
     /// A named node does not exist.
     UnknownNode(String),
+    /// A pipeline (or other generator) specification is degenerate — e.g.
+    /// zero stages, a configured depth of 0 or beyond the stage count, or
+    /// an empty/mis-sized per-stage delay vector.
+    InvalidSpec {
+        /// What is wrong with the specification.
+        reason: String,
+    },
     /// The state-space exploration behind a verification query exceeded its
     /// budget.
     StateBudgetExceeded {
@@ -76,6 +83,7 @@ impl fmt::Display for DfsError {
                 write!(f, "node `{node}` has invalid delay {delay}")
             }
             DfsError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            DfsError::InvalidSpec { reason } => write!(f, "invalid specification: {reason}"),
             DfsError::StateBudgetExceeded { budget } => {
                 write!(f, "state space exceeds the budget of {budget} states")
             }

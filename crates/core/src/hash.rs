@@ -1,0 +1,242 @@
+//! Canonical structural hashing of DFS models.
+//!
+//! [`Dfs::structural_hash`] digests everything that determines a model's
+//! *behaviour* — node kinds, initial markings (including token values),
+//! delays, guard modes, and the arc structure with inversion flags — while
+//! ignoring everything that does not: node **names** and node **insertion
+//! order**. Two isomorphic models (equal up to a renaming/permutation of
+//! nodes) hash identically, which is what lets the design-space-exploration
+//! driver in `rap-dse` evaluate each distinct configuration once and serve
+//! the replicas from a memo table.
+//!
+//! The hash is a Weisfeiler–Lehman colour refinement: every node starts
+//! from a label derived from its local attributes, then repeatedly absorbs
+//! the sorted multiset of its neighbours' labels (predecessors and
+//! successors separately, each tagged with the arc's inversion flag). After
+//! `⌈log₂ n⌉ + 2` rounds the labels are folded, order-independently, into a
+//! single 64-bit digest together with the node/edge/token counts.
+//!
+//! Like any WL-style invariant this is *complete for the graphs it cannot
+//! distinguish* only up to WL-equivalence; distinct non-isomorphic models
+//! hashing equal is possible in principle but requires adversarial regular
+//! structure. Memo tables should (and `rap-dse` does) key on the hash
+//! *together with* the cheap exact counts ([`Dfs::node_count`],
+//! [`Dfs::edge_count`], [`Dfs::initial_token_count`]) so an accidental
+//! collision would additionally have to agree on those.
+
+use crate::graph::{Dfs, GuardMode};
+use crate::node::{InitialMarking, NodeKind, TokenValue};
+
+/// A small, fast, deterministic 64-bit mixer (SplitMix64 finaliser). The
+/// standard library's hashers are seeded per-process; structural hashes
+/// must be stable across processes so equal structures hash equally in
+/// every run (memo keys, recorded sweeps and tests all rely on that).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Folds `v` into `acc` non-commutatively.
+fn fold(acc: u64, v: u64) -> u64 {
+    mix(acc ^ mix(v))
+}
+
+fn kind_tag(k: NodeKind) -> u64 {
+    match k {
+        NodeKind::Logic => 1,
+        NodeKind::Register => 2,
+        NodeKind::Control => 3,
+        NodeKind::Push => 4,
+        NodeKind::Pop => 5,
+    }
+}
+
+fn initial_tag(m: InitialMarking) -> u64 {
+    match m {
+        InitialMarking::Empty => 1,
+        InitialMarking::Marked => 2,
+        InitialMarking::MarkedWith(TokenValue::True) => 3,
+        InitialMarking::MarkedWith(TokenValue::False) => 4,
+    }
+}
+
+fn guard_tag(g: GuardMode) -> u64 {
+    match g {
+        GuardMode::Unanimous => 1,
+        GuardMode::And => 2,
+        GuardMode::Or => 3,
+    }
+}
+
+impl Dfs {
+    /// A canonical structural hash: invariant under node renaming and
+    /// reordering, sensitive to kinds, initial markings, delays, guard
+    /// modes and the (inversion-flagged) arc structure.
+    ///
+    /// See the [module docs](self) for the construction and the collision
+    /// contract.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        let n = self.node_count();
+        if n == 0 {
+            return mix(0x0df5);
+        }
+        let mut labels: Vec<u64> = self
+            .nodes()
+            .map(|id| {
+                let node = self.node(id);
+                let mut h = fold(0x0df5, kind_tag(node.kind));
+                h = fold(h, initial_tag(node.initial));
+                h = fold(h, node.delay.to_bits());
+                fold(h, guard_tag(self.guard_mode(id)))
+            })
+            .collect();
+
+        let rounds = (usize::BITS - n.leading_zeros()) as usize + 2;
+        let mut next = vec![0u64; n];
+        let mut bucket: Vec<u64> = Vec::new();
+        for _ in 0..rounds {
+            for id in self.nodes() {
+                let i = id.index();
+                let mut h = fold(labels[i], 0x1);
+                for (tag, edges) in [(0x2u64, self.preds(id)), (0x3, self.succs(id))] {
+                    bucket.clear();
+                    bucket.extend(
+                        edges
+                            .iter()
+                            .map(|e| mix(labels[e.node.index()] ^ u64::from(e.inverted))),
+                    );
+                    bucket.sort_unstable();
+                    h = fold(h, tag);
+                    for &b in &bucket {
+                        h = fold(h, b);
+                    }
+                }
+                next[i] = h;
+            }
+            std::mem::swap(&mut labels, &mut next);
+        }
+
+        labels.sort_unstable();
+        let mut digest = fold(0x0df5, n as u64);
+        digest = fold(digest, self.edge_count() as u64);
+        digest = fold(digest, self.initial_token_count() as u64);
+        for l in labels {
+            digest = fold(digest, l);
+        }
+        digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DfsBuilder;
+    use crate::graph::Dfs;
+    use crate::pipelines::{build_pipeline, PipelineSpec};
+
+    /// A ring with a logic node, built with the node declarations permuted
+    /// and renamed according to `order`/`prefix`.
+    fn ring(order: [usize; 4], prefix: &str) -> Dfs {
+        let mut b = DfsBuilder::new();
+        let mut ids = [None; 4];
+        for &i in &order {
+            ids[i] = Some(match i {
+                0 => b.register(format!("{prefix}a")).marked().delay(2.0).build(),
+                1 => b.logic(format!("{prefix}f")).delay(3.0).build(),
+                2 => b.register(format!("{prefix}b")).build(),
+                _ => b.register(format!("{prefix}c")).build(),
+            });
+        }
+        let [a, f, r1, r2] = ids.map(|x| x.unwrap());
+        b.connect(a, f);
+        b.connect(f, r1);
+        b.connect(r1, r2);
+        b.connect(r2, a);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn invariant_under_renaming_and_reordering() {
+        let h0 = ring([0, 1, 2, 3], "x_").structural_hash();
+        assert_eq!(h0, ring([3, 2, 1, 0], "other").structural_hash());
+        assert_eq!(h0, ring([1, 3, 0, 2], "z").structural_hash());
+    }
+
+    #[test]
+    fn sensitive_to_delays_marking_and_structure() {
+        let base = ring([0, 1, 2, 3], "n").structural_hash();
+        // different delay
+        let mut b = DfsBuilder::new();
+        let a = b.register("a").marked().delay(2.5).build();
+        let f = b.logic("f").delay(3.0).build();
+        let r1 = b.register("b").build();
+        let r2 = b.register("c").build();
+        b.connect(a, f);
+        b.connect(f, r1);
+        b.connect(r1, r2);
+        b.connect(r2, a);
+        assert_ne!(base, b.finish().unwrap().structural_hash());
+        // different marking position relative to the logic node
+        let mut b = DfsBuilder::new();
+        let a = b.register("a").delay(2.0).build();
+        let f = b.logic("f").delay(3.0).build();
+        let r1 = b.register("b").marked().build();
+        let r2 = b.register("c").build();
+        b.connect(a, f);
+        b.connect(f, r1);
+        b.connect(r1, r2);
+        b.connect(r2, a);
+        assert_ne!(base, b.finish().unwrap().structural_hash());
+    }
+
+    #[test]
+    fn inverted_arcs_and_token_values_matter() {
+        let build = |invert: bool, value: bool| {
+            let mut b = DfsBuilder::new();
+            let c = b
+                .control("c")
+                .marked_with(crate::node::TokenValue::from(value))
+                .build();
+            let p = b.push("p").build();
+            let r = b.register("r").marked().build();
+            if invert {
+                b.connect_inverted(c, p);
+            } else {
+                b.connect(c, p);
+            }
+            b.connect(r, p);
+            b.connect(p, r);
+            b.finish().unwrap().structural_hash()
+        };
+        assert_ne!(build(false, true), build(true, true));
+        assert_ne!(build(false, true), build(false, false));
+        assert_eq!(build(true, false), build(true, false));
+    }
+
+    #[test]
+    fn pipeline_configurations_hash_distinctly() {
+        let h = |d: usize| {
+            build_pipeline(&PipelineSpec::reconfigurable_depth(4, d).unwrap())
+                .unwrap()
+                .dfs
+                .structural_hash()
+        };
+        let hashes = [h(1), h(2), h(3), h(4)];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(hashes[i], hashes[j], "depths {} vs {}", i + 1, j + 1);
+            }
+        }
+        // rebuilding the same spec reproduces the hash exactly
+        assert_eq!(h(2), h(2));
+    }
+
+    #[test]
+    fn empty_model_hashes_stably() {
+        let e1 = DfsBuilder::new().finish().unwrap().structural_hash();
+        let e2 = DfsBuilder::new().finish().unwrap().structural_hash();
+        assert_eq!(e1, e2);
+    }
+}

@@ -50,6 +50,7 @@
 mod builder;
 mod error;
 mod graph;
+mod hash;
 mod lts;
 mod node;
 mod state;

@@ -373,6 +373,24 @@ pub struct PerfReport {
     pub construction: Construction,
 }
 
+/// A [`PerfReport`] together with the per-node steady-state **activity**:
+/// how many times each node's `+` (evaluate/mark) event fires per item.
+///
+/// This is the cost hook the energy models build on: switching energy per
+/// item is `Σ activity(n) · E_switch(n)`. The activity is exact — for
+/// phase-unfolded constructions it is read off the unfolding (a node
+/// replicated over `R` phases of a `k`-item hyper-period fires `R/k` times
+/// per item; a node of an excluded stage that never fires contributes `0`),
+/// and for choice-free models every node of the (live, strongly-connected)
+/// marked graph fires exactly once per period.
+#[derive(Debug, Clone)]
+pub struct PerfDetail {
+    /// The throughput analysis.
+    pub report: PerfReport,
+    /// Per node (indexed by [`NodeId::index`]): `+` firings per item.
+    pub activity_per_item: Vec<f64>,
+}
+
 /// Analyses `dfs` and returns its exact steady-state throughput and
 /// critical cycle.
 ///
@@ -391,28 +409,50 @@ pub struct PerfReport {
 /// * [`DfsError::StateBudgetExceeded`] when that replay finds no periodic
 ///   schedule within its step budget.
 pub fn analyse(dfs: &Dfs) -> Result<PerfReport, DfsError> {
+    analyse_with_activity(dfs).map(|d| d.report)
+}
+
+/// [`analyse`] plus the exact per-node activity (see [`PerfDetail`]).
+///
+/// # Errors
+///
+/// Same conditions as [`analyse`].
+pub fn analyse_with_activity(dfs: &Dfs) -> Result<PerfDetail, DfsError> {
     let choice_free = dfs
         .nodes()
         .all(|n| matches!(dfs.kind(n), NodeKind::Logic | NodeKind::Register));
     if choice_free {
         let g = EventGraph::build(dfs);
         let sol = mcr::maximum_cycle_ratio(&g).map_err(|e| e.into_dfs_error(dfs, &g))?;
-        Ok(report(dfs, &g, &sol, sol.ratio, Construction::Direct))
+        Ok(PerfDetail {
+            report: report(dfs, &g, &sol, sol.ratio, Construction::Direct),
+            activity_per_item: vec![1.0; dfs.node_count()],
+        })
     } else {
         let u = unfold::unfold(dfs)?;
         let sol =
             mcr::maximum_cycle_ratio(&u.graph).map_err(|e| e.into_dfs_error(dfs, &u.graph))?;
         // the MCR of the unfolded graph is the duration of one hyper-period
-        let period = sol.ratio / f64::from(u.items_per_period.max(1));
-        Ok(report(
-            dfs,
-            &u.graph,
-            &sol,
-            period,
-            Construction::PhaseUnfolded {
-                phases: u.items_per_period,
-            },
-        ))
+        let items = f64::from(u.items_per_period.max(1));
+        let period = sol.ratio / items;
+        let mut activity = vec![0.0; dfs.node_count()];
+        for v in &u.graph.vertices {
+            if v.plus {
+                activity[v.node.index()] += 1.0 / items;
+            }
+        }
+        Ok(PerfDetail {
+            report: report(
+                dfs,
+                &u.graph,
+                &sol,
+                period,
+                Construction::PhaseUnfolded {
+                    phases: u.items_per_period,
+                },
+            ),
+            activity_per_item: activity,
+        })
     }
 }
 
@@ -635,6 +675,44 @@ mod tests {
             phases,
             report.period
         );
+    }
+
+    /// The exact activity hook: excluded stages contribute zero switching,
+    /// wagged ways fire once every `k` items, choice-free nodes once per
+    /// item.
+    #[test]
+    fn activity_reflects_the_configured_schedule() {
+        // choice-free ring: everything fires once per item
+        let d = analyse_with_activity(&ring(4, &[])).unwrap();
+        assert!(d.activity_per_item.iter().all(|&a| (a - 1.0).abs() < 1e-12));
+
+        // 2-way wagging: each way's registers fire every other item, the
+        // environment once per item
+        let w = crate::wagging::wagged_pipeline(2, 1, 8.0).unwrap();
+        let d = analyse_with_activity(&w.dfs).unwrap();
+        let act = |name: &str| d.activity_per_item[w.dfs.node_by_name(name).unwrap().index()];
+        assert!((act("w0_r1") - 0.5).abs() < 1e-12, "{}", act("w0_r1"));
+        assert!((act("w1_r1") - 0.5).abs() < 1e-12);
+        assert!((act("in") - 1.0).abs() < 1e-12);
+        assert!((act("agg") - 1.0).abs() < 1e-12);
+
+        // reconfigurable pipeline, depth 1 of 3: the excluded stages' f
+        // logic never switches, the included stage's does every item
+        let p = crate::pipelines::build_pipeline(
+            &crate::pipelines::PipelineSpec::reconfigurable_depth(3, 1).unwrap(),
+        )
+        .unwrap();
+        let d = analyse_with_activity(&p.dfs).unwrap();
+        let act = |name: &str| d.activity_per_item[p.dfs.node_by_name(name).unwrap().index()];
+        assert!(
+            (act("s1_f") - 1.0).abs() < 1e-12,
+            "included f: {}",
+            act("s1_f")
+        );
+        assert_eq!(act("s3_f"), 0.0, "excluded f must not switch");
+        assert_eq!(act("s3_local_out"), 0.0);
+        // activity agrees with the report from plain `analyse`
+        assert!((d.report.period - analyse(&p.dfs).unwrap().period).abs() < 1e-12);
     }
 
     #[test]

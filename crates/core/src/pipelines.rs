@@ -72,36 +72,129 @@ pub struct PipelineSpec {
     /// directly after a static one: one shared control loop for both
     /// interfaces.
     pub share_ctrl_after_static: bool,
-    /// Node latencies.
+    /// Node latencies (the `f` entry is the default for stages without a
+    /// per-stage override).
     pub delays: StageDelays,
+    /// Per-stage `f` latency, one entry per stage. The constructors fill
+    /// this with `delays.f`; design-space sweeps replace it to size
+    /// individual stages. Must stay non-empty and `stages` long — see
+    /// [`PipelineSpec::validate`].
+    pub f_delays: Vec<f64>,
 }
 
 impl PipelineSpec {
     /// A fully static `n`-stage pipeline.
     #[must_use]
     pub fn fully_static(n: usize) -> Self {
+        let delays = StageDelays::default();
         PipelineSpec {
             stages: n,
             reconfigurable: vec![false; n],
             included: vec![true; n],
             share_ctrl_after_static: false,
-            delays: StageDelays::default(),
+            f_delays: vec![delays.f; n],
+            delays,
         }
     }
 
     /// The Fig. 7 shape: first stage static, the rest reconfigurable, the
     /// first `depth` stages included.
-    #[must_use]
-    pub fn reconfigurable_depth(n: usize, depth: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::InvalidSpec`] on a degenerate configuration: `n == 0`,
+    /// `depth == 0` (no stage included) or `depth > n`.
+    pub fn reconfigurable_depth(n: usize, depth: usize) -> Result<Self, DfsError> {
+        if n == 0 {
+            return Err(DfsError::InvalidSpec {
+                reason: "pipeline needs at least one stage".into(),
+            });
+        }
+        if depth == 0 || depth > n {
+            return Err(DfsError::InvalidSpec {
+                reason: format!("configured depth {depth} outside 1..={n}"),
+            });
+        }
         let mut reconfigurable = vec![true; n];
         reconfigurable[0] = false;
-        PipelineSpec {
+        let delays = StageDelays::default();
+        let spec = PipelineSpec {
             stages: n,
             reconfigurable,
             included: (0..n).map(|i| i < depth).collect(),
             share_ctrl_after_static: true,
-            delays: StageDelays::default(),
+            f_delays: vec![delays.f; n],
+            delays,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Replaces all node latencies, refreshing the per-stage `f` vector
+    /// with the new default.
+    #[must_use]
+    pub fn with_delays(mut self, delays: StageDelays) -> Self {
+        self.delays = delays;
+        self.f_delays = vec![delays.f; self.stages];
+        self
+    }
+
+    /// Replaces the per-stage `f` latencies (validated by
+    /// [`PipelineSpec::validate`] at build time).
+    #[must_use]
+    pub fn with_f_delays(mut self, f_delays: Vec<f64>) -> Self {
+        self.f_delays = f_delays;
+        self
+    }
+
+    /// Checks the specification for degeneracies the builder would turn
+    /// into a nonsense model: zero stages, mis-sized per-stage vectors, an
+    /// empty or invalid delay vector, or a configuration that includes no
+    /// stage at all. Called by [`build_pipeline`] (and, for the depth
+    /// parameters, by [`PipelineSpec::reconfigurable_depth`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::InvalidSpec`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), DfsError> {
+        let fail = |reason: String| Err(DfsError::InvalidSpec { reason });
+        if self.stages == 0 {
+            return fail("pipeline needs at least one stage".into());
         }
+        if self.reconfigurable.len() != self.stages {
+            return fail(format!(
+                "reconfigurable flags: {} entries for {} stages",
+                self.reconfigurable.len(),
+                self.stages
+            ));
+        }
+        if self.included.len() != self.stages {
+            return fail(format!(
+                "included flags: {} entries for {} stages",
+                self.included.len(),
+                self.stages
+            ));
+        }
+        if self.f_delays.is_empty() {
+            return fail("empty per-stage delay vector".into());
+        }
+        if self.f_delays.len() != self.stages {
+            return fail(format!(
+                "per-stage delays: {} entries for {} stages",
+                self.f_delays.len(),
+                self.stages
+            ));
+        }
+        if let Some(d) = self.f_delays.iter().find(|d| !d.is_finite() || **d < 0.0) {
+            return fail(format!(
+                "per-stage delay {d} is not a finite non-negative number"
+            ));
+        }
+        let any_included = (0..self.stages).any(|i| !self.reconfigurable[i] || self.included[i]);
+        if !any_included {
+            return fail("configuration includes no stage (depth 0)".into());
+        }
+        Ok(())
     }
 }
 
@@ -127,14 +220,11 @@ pub struct Pipeline {
 ///
 /// # Errors
 ///
-/// Propagates builder validation errors ([`DfsError`]).
+/// [`DfsError::InvalidSpec`] for degenerate specifications (see
+/// [`PipelineSpec::validate`]); otherwise propagates builder validation
+/// errors ([`DfsError`]).
 pub fn build_pipeline(spec: &PipelineSpec) -> Result<Pipeline, DfsError> {
-    assert_eq!(
-        spec.reconfigurable.len(),
-        spec.stages,
-        "spec length mismatch"
-    );
-    assert_eq!(spec.included.len(), spec.stages, "spec length mismatch");
+    spec.validate()?;
     let d = spec.delays;
     let mut b = DfsBuilder::new();
 
@@ -159,7 +249,7 @@ pub fn build_pipeline(spec: &PipelineSpec) -> Result<Pipeline, DfsError> {
                 .register(format!("s{s}_local_in"))
                 .delay(d.register)
                 .build();
-            let f = b.logic(format!("s{s}_f")).delay(d.f).build();
+            let f = b.logic(format!("s{s}_f")).delay(spec.f_delays[i]).build();
             let local_out = b
                 .register(format!("s{s}_local_out"))
                 .delay(d.register)
@@ -195,7 +285,7 @@ pub fn build_pipeline(spec: &PipelineSpec) -> Result<Pipeline, DfsError> {
                 control_loop(&mut b, &format!("s{s}_lctrl"), value, d.control)
             };
             let local_in = b.push(format!("s{s}_local_in")).delay(d.register).build();
-            let f = b.logic(format!("s{s}_f")).delay(d.f).build();
+            let f = b.logic(format!("s{s}_f")).delay(spec.f_delays[i]).build();
             let local_out = b
                 .register(format!("s{s}_local_out"))
                 .delay(d.register)
@@ -300,7 +390,7 @@ mod tests {
     #[test]
     fn reconfigurable_two_stage_all_depths_are_clean() {
         for depth in 1..=2 {
-            let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, depth)).unwrap();
+            let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, depth).unwrap()).unwrap();
             let report = verify(&p.dfs, &cfg()).unwrap();
             assert!(
                 report.is_clean(),
@@ -315,7 +405,7 @@ mod tests {
     #[test]
     fn pipeline_simulates_and_produces_output() {
         use crate::timed::{measure_throughput, ChoicePolicy};
-        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 2)).unwrap();
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 2).unwrap()).unwrap();
         let thr = measure_throughput(&p.dfs, p.output, 3, 20, ChoicePolicy::AlwaysTrue).unwrap();
         assert!(thr > 0.0);
     }
@@ -329,7 +419,7 @@ mod tests {
         use crate::perf::{analyse, Construction};
         use crate::timed::{measure_steady_period, ChoicePolicy};
         for depth in 1..=3 {
-            let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, depth)).unwrap();
+            let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, depth).unwrap()).unwrap();
             let report = analyse(&p.dfs).unwrap();
             assert!(matches!(
                 report.construction,
@@ -348,7 +438,7 @@ mod tests {
         let periods: Vec<f64> = (1..=3)
             .map(|d| {
                 analyse(
-                    &build_pipeline(&PipelineSpec::reconfigurable_depth(3, d))
+                    &build_pipeline(&PipelineSpec::reconfigurable_depth(3, d).unwrap())
                         .unwrap()
                         .dfs,
                 )
@@ -360,6 +450,74 @@ mod tests {
             periods.windows(2).all(|w| w[0] <= w[1] + 1e-9),
             "{periods:?}"
         );
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected_with_typed_errors() {
+        // depth out of range, both ends
+        for (n, depth) in [(4, 0), (4, 5), (0, 0), (0, 1)] {
+            assert!(
+                matches!(
+                    PipelineSpec::reconfigurable_depth(n, depth),
+                    Err(DfsError::InvalidSpec { .. })
+                ),
+                "reconfigurable_depth({n}, {depth}) must be rejected"
+            );
+        }
+        // empty delay vector
+        let spec = PipelineSpec::fully_static(3).with_f_delays(Vec::new());
+        let err = build_pipeline(&spec).unwrap_err();
+        assert!(
+            matches!(&err, DfsError::InvalidSpec { reason } if reason.contains("empty")),
+            "{err}"
+        );
+        // mis-sized delay vector
+        let spec = PipelineSpec::fully_static(3).with_f_delays(vec![1.0; 2]);
+        assert!(matches!(
+            build_pipeline(&spec),
+            Err(DfsError::InvalidSpec { .. })
+        ));
+        // non-finite delay
+        let spec = PipelineSpec::fully_static(2).with_f_delays(vec![1.0, f64::NAN]);
+        assert!(matches!(
+            build_pipeline(&spec),
+            Err(DfsError::InvalidSpec { .. })
+        ));
+        // mis-sized flag vectors
+        let mut spec = PipelineSpec::fully_static(3);
+        spec.included.pop();
+        assert!(matches!(
+            build_pipeline(&spec),
+            Err(DfsError::InvalidSpec { .. })
+        ));
+        // all-excluded configuration (depth 0 expressed via the vectors)
+        let mut spec = PipelineSpec::reconfigurable_depth(3, 1).unwrap();
+        spec.reconfigurable[0] = true;
+        spec.included = vec![false; 3];
+        assert!(matches!(
+            build_pipeline(&spec),
+            Err(DfsError::InvalidSpec { .. })
+        ));
+        // a healthy spec still validates
+        PipelineSpec::reconfigurable_depth(3, 2)
+            .unwrap()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn per_stage_delays_shape_the_analysis() {
+        use crate::perf::analyse;
+        // slowing one stage's f must not speed the pipeline up, and the
+        // slowed instance must differ from the uniform one
+        let uniform = build_pipeline(&PipelineSpec::fully_static(3)).unwrap();
+        let slowed =
+            build_pipeline(&PipelineSpec::fully_static(3).with_f_delays(vec![2.0, 8.0, 2.0]))
+                .unwrap();
+        let p0 = analyse(&uniform.dfs).unwrap().period;
+        let p1 = analyse(&slowed.dfs).unwrap().period;
+        assert!(p1 > p0, "slowed {p1} vs uniform {p0}");
+        assert_ne!(uniform.dfs.structural_hash(), slowed.dfs.structural_hash());
     }
 
     #[test]

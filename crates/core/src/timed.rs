@@ -601,7 +601,7 @@ mod tests {
     #[test]
     fn steady_period_terminates_when_the_watched_register_is_starved() {
         use crate::pipelines::{build_pipeline, PipelineSpec};
-        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 1)).unwrap();
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 1).unwrap()).unwrap();
         // stage 2 is excluded: its local pipeline register never marks
         let starved = p.local_outs[1];
         let err = measure_steady_period(&p.dfs, starved, 2, ChoicePolicy::AlwaysTrue).unwrap_err();

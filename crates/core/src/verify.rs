@@ -268,7 +268,7 @@ mod tests {
         // structural 1-safety holds even for the full-scale 18-stage model
         // that is far too big to explore
         let p = crate::pipelines::build_pipeline(
-            &crate::pipelines::PipelineSpec::reconfigurable_depth(18, 9),
+            &crate::pipelines::PipelineSpec::reconfigurable_depth(18, 9).unwrap(),
         )
         .unwrap();
         assert!(certify_translation_safety(&p.dfs));

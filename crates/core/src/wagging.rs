@@ -54,7 +54,12 @@ pub struct Wagged {
 /// Builds a rotating control ring with `ways` guard positions (three
 /// registers per position), `True` initially at position 0. Returns the
 /// guard registers, one per position.
-fn rotating_ring(b: &mut DfsBuilder, prefix: &str, ways: usize, delay: f64) -> Vec<NodeId> {
+///
+/// This is the round-robin steering primitive of the wagging
+/// transformation; it is public so other wagging-style topologies (e.g. the
+/// replicated-OPE models of `rap-dse`) can reuse the exact structure that
+/// is verified and pinned here.
+pub fn rotating_ring(b: &mut DfsBuilder, prefix: &str, ways: usize, delay: f64) -> Vec<NodeId> {
     let len = 3 * ways;
     let regs: Vec<NodeId> = (0..len)
         .map(|i| {

@@ -125,7 +125,7 @@ fn control_loop_is_bisimilar() {
 #[test]
 fn reconfigurable_stage_is_bisimilar_in_both_configurations() {
     for depth in 1..=2 {
-        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, depth)).unwrap();
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, depth).unwrap()).unwrap();
         assert_bisimilar(&p.dfs, 2_000_000);
     }
 }

@@ -1,0 +1,447 @@
+//! The parallel sweep driver: a work-stealing evaluation pool with
+//! sharded result collection, structural memoization and admissible
+//! pruning.
+//!
+//! * **Work stealing** — tasks (configurations) are dealt round-robin into
+//!   per-worker deques; a worker pops its own deque from the front and,
+//!   when empty, steals from the back of the others. No global queue lock
+//!   on the hot path, and stragglers (the big wagged models) end up shared.
+//! * **Sharded collection** — each worker appends to its own result
+//!   vector; vectors are concatenated after the pool joins, then sorted
+//!   canonically, so the output is deterministic regardless of schedule.
+//! * **Memoization** — structural evaluations are cached under
+//!   `(structural_hash, node/edge/token counts)`. Configurations that
+//!   differ only in supply voltage — or in demanded depth, for hardware
+//!   that cannot reconfigure — build isomorphic models and share one
+//!   evaluation. Memo slots are in-flight reservations (a `OnceLock` per
+//!   structure): concurrent twins block on the first evaluation instead
+//!   of duplicating it, so each distinct structure is fully evaluated at
+//!   most once per sweep regardless of thread count. (The exact
+//!   full/memo/pruned *split* can still shift marginally under parallel
+//!   scheduling, because pruning races the arrival of dominators; the
+//!   fronts and every per-point value are schedule-invariant.)
+//! * **Pruning** — before paying for a full evaluation (phase unfolding +
+//!   Petri screen), a candidate's admissible optimistic bound
+//!   ([`crate::eval::optimistic_bound`]) is tested against the
+//!   exactly-evaluated points of its workload class; if some exact point
+//!   dominates the bound, the candidate provably cannot reach the front
+//!   and is skipped. The period lower bound feeding that test is the best
+//!   of (a) the single-cycle bound
+//!   ([`crate::eval::period_lower_bound_units`]) and (b) for
+//!   reconfigurable hardware, the exact period of an already-evaluated
+//!   shallower depth of the same hardware/sizing (periods are
+//!   non-decreasing in depth).
+//!
+//! The front is invariant under all of this: pruning only ever discards
+//! provably-dominated points, and memoization returns bit-identical
+//! structural results, so a single-threaded sweep with pruning and
+//! memoization disabled produces the same fronts (asserted in
+//! `tests/driver_equivalence.rs`).
+
+use crate::eval::{
+    evaluate_structural, optimistic_bound, period_lower_bound_units, StructuralEval,
+};
+use crate::pareto::{pareto_front_indices, Objectives};
+use crate::space::{Config, DesignSpace, Hardware};
+use dfs_core::Dfs;
+use rap_silicon::cost::CostModel;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Driver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DseConfig {
+    /// Worker threads (1 = run inline, still through the same code path).
+    pub threads: usize,
+    /// State budget of the per-configuration Petri screen.
+    pub check_budget: usize,
+    /// Serve isomorphic configurations from the memo table.
+    pub memoize: bool,
+    /// Skip provably-dominated configurations.
+    pub prune: bool,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            check_budget: 20_000,
+            memoize: true,
+            prune: true,
+        }
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The configuration.
+    pub config: Config,
+    /// Its stable label ([`Config::label`]).
+    pub label: String,
+    /// The objective vector at the configuration's supply voltage.
+    pub objectives: Objectives,
+    /// Steady-state period (model time units, nominal supply).
+    pub period_units: f64,
+    /// Phases of the analysed schedule.
+    pub phases: u32,
+    /// Whether the Petri screen was truncated by its budget.
+    pub check_truncated: bool,
+    /// Whether the screen found a real violation (excluded from fronts).
+    pub check_violated: bool,
+    /// Whether this evaluation was served from the memo table.
+    pub memoized: bool,
+}
+
+/// Sweep counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Configurations enumerated by the space.
+    pub enumerated: usize,
+    /// Full structural evaluations actually performed.
+    pub full_evaluations: usize,
+    /// Configurations served from the memo table.
+    pub memo_hits: usize,
+    /// Configurations skipped by admissible pruning.
+    pub pruned: usize,
+    /// Configurations whose evaluation errored (structurally dead models).
+    pub errors: usize,
+    /// Full evaluations whose Petri screen was truncated (inconclusive).
+    pub check_inconclusive: usize,
+    /// Full evaluations whose Petri screen found a violation.
+    pub check_violations: usize,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// Every non-pruned configuration's evaluation, sorted by
+    /// (workload, label).
+    pub evaluations: Vec<Evaluation>,
+    /// Per workload demand: the exact Pareto front over the evaluated,
+    /// violation-free configurations, canonically sorted.
+    pub fronts: BTreeMap<usize, Vec<Evaluation>>,
+    /// Counters.
+    pub stats: SweepStats,
+}
+
+impl DseOutcome {
+    /// The front for `workload`, empty if none.
+    #[must_use]
+    pub fn front(&self, workload: usize) -> &[Evaluation] {
+        self.fronts.get(&workload).map_or(&[], Vec::as_slice)
+    }
+}
+
+type MemoKey = (u64, usize, usize, usize);
+/// A reservation-capable memo slot: empty until some worker's
+/// `get_or_init` completes; `None` inside records an errored evaluation.
+type MemoCell = Arc<OnceLock<Option<Arc<StructuralEval>>>>;
+type SiblingKey = (String, u64);
+
+struct Shared<'a> {
+    space: &'a DesignSpace,
+    cost: &'a CostModel,
+    cfg: &'a DseConfig,
+    tasks: Vec<Config>,
+    shards: Vec<Mutex<VecDeque<usize>>>,
+    memo: Vec<Mutex<HashMap<MemoKey, MemoCell>>>,
+    /// Exact periods of evaluated reconfigurable points, for the
+    /// depth-monotonicity bound: (hardware label, sizing bits) → [(depth,
+    /// period)].
+    siblings: Mutex<HashMap<SiblingKey, Vec<(usize, f64)>>>,
+    /// Exact, violation-free objective vectors per workload class.
+    dominators: Mutex<HashMap<usize, Vec<Objectives>>>,
+    full_evaluations: AtomicUsize,
+    memo_hits: AtomicUsize,
+    pruned: AtomicUsize,
+    errors: AtomicUsize,
+    check_inconclusive: AtomicUsize,
+    check_violations: AtomicUsize,
+}
+
+const MEMO_SHARDS: usize = 8;
+
+impl Shared<'_> {
+    fn memo_key(dfs: &Dfs) -> MemoKey {
+        (
+            dfs.structural_hash(),
+            dfs.node_count(),
+            dfs.edge_count(),
+            dfs.initial_token_count(),
+        )
+    }
+
+    /// The memo cell for `key`, creating an empty reservation if absent.
+    /// The cell is a `OnceLock`, so the *first* worker to call
+    /// `get_or_init` on it evaluates the structure and every concurrent
+    /// worker blocks on that one evaluation instead of duplicating it —
+    /// each distinct structure is fully evaluated at most once per sweep
+    /// regardless of thread count.
+    fn memo_cell(&self, key: &MemoKey) -> MemoCell {
+        Arc::clone(
+            self.memo[(key.0 as usize) % MEMO_SHARDS]
+                .lock()
+                .expect("memo shard")
+                .entry(*key)
+                .or_default(),
+        )
+    }
+
+    /// Evaluates one structure, updating the full-evaluation counters and
+    /// the sibling table; `None` when the evaluation errored.
+    fn full_evaluate(&self, config: &Config, dfs: &Dfs) -> Option<Arc<StructuralEval>> {
+        match evaluate_structural(dfs, self.cost, self.cfg.check_budget) {
+            Ok(eval) => {
+                self.full_evaluations.fetch_add(1, Ordering::Relaxed);
+                if eval.check_violated {
+                    self.check_violations.fetch_add(1, Ordering::Relaxed);
+                } else if eval.check_truncated {
+                    self.check_inconclusive.fetch_add(1, Ordering::Relaxed);
+                }
+                self.record_sibling(config, eval.period_units);
+                Some(Arc::new(eval))
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The best available admissible period lower bound for `config`.
+    ///
+    /// Note on a bound deliberately *not* used: the direct (single-phase)
+    /// event-graph MCR is **not** admissible here. Its all-true
+    /// abstraction under-approximates the period when a replicated column
+    /// is the bottleneck, but *over*-approximates it when the shared
+    /// steering environment is (every way accepting every item adds
+    /// serialisation on the broadcast register) — `wagged(2×2)` direct
+    /// 11.0 vs exact 10.5, pinned in `tests/driver_equivalence.rs`.
+    fn period_lower_bound(&self, config: &Config, dfs: &Dfs) -> f64 {
+        let mut lb = period_lower_bound_units(config, dfs);
+        if let Hardware::Reconfigurable { .. } = config.hardware {
+            let key = (config.hardware.label(), config.sizing.to_bits());
+            if let Some(entries) = self.siblings.lock().expect("siblings").get(&key) {
+                for &(depth, period) in entries {
+                    // periods are non-decreasing in operating depth
+                    if depth <= config.operating_depth() {
+                        lb = lb.max(period);
+                    }
+                }
+            }
+        }
+        lb
+    }
+
+    fn record_sibling(&self, config: &Config, period: f64) {
+        if matches!(config.hardware, Hardware::Reconfigurable { .. }) {
+            let key = (config.hardware.label(), config.sizing.to_bits());
+            self.siblings
+                .lock()
+                .expect("siblings")
+                .entry(key)
+                .or_default()
+                .push((config.operating_depth(), period));
+        }
+    }
+
+    fn is_dominated(&self, workload: usize, bound: &Objectives) -> bool {
+        self.dominators
+            .lock()
+            .expect("dominators")
+            .get(&workload)
+            .is_some_and(|ds| ds.iter().any(|d| d.dominates(bound)))
+    }
+
+    fn record_dominator(&self, workload: usize, objectives: Objectives) {
+        self.dominators
+            .lock()
+            .expect("dominators")
+            .entry(workload)
+            .or_default()
+            .push(objectives);
+    }
+
+    fn next_task(&self, me: usize) -> Option<usize> {
+        if let Some(t) = self.shards[me].lock().expect("shard").pop_front() {
+            return Some(t);
+        }
+        let n = self.shards.len();
+        for off in 1..n {
+            if let Some(t) = self.shards[(me + off) % n]
+                .lock()
+                .expect("shard")
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn run_worker(&self, me: usize, out: &mut Vec<Evaluation>) {
+        while let Some(idx) = self.next_task(me) {
+            let config = self.tasks[idx];
+            let dfs = match config.build() {
+                Ok(dfs) => dfs,
+                Err(_) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let key = Self::memo_key(&dfs);
+            let (eval, memoized) = if self.cfg.memoize {
+                let cell = self.memo_cell(&key);
+                let already_done = cell.get().is_some();
+                if !already_done {
+                    // not evaluated yet (though a twin may be in flight):
+                    // this task may still be pruned on its own merits
+                    if self.cfg.prune {
+                        let lb = self.period_lower_bound(&config, &dfs);
+                        let bound = optimistic_bound(&config, &dfs, self.cost, lb);
+                        if self.is_dominated(config.workload, &bound) {
+                            self.pruned.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                }
+                let mut ran_here = false;
+                let slot = cell.get_or_init(|| {
+                    ran_here = true;
+                    self.full_evaluate(&config, &dfs)
+                });
+                if !ran_here {
+                    if slot.is_some() {
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // twin of a structure whose evaluation errored
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                match slot {
+                    Some(eval) => (Arc::clone(eval), !ran_here),
+                    None => continue,
+                }
+            } else {
+                if self.cfg.prune {
+                    let lb = self.period_lower_bound(&config, &dfs);
+                    let bound = optimistic_bound(&config, &dfs, self.cost, lb);
+                    if self.is_dominated(config.workload, &bound) {
+                        self.pruned.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                match self.full_evaluate(&config, &dfs) {
+                    Some(eval) => (eval, false),
+                    None => continue,
+                }
+            };
+            let objectives = eval.objectives(self.cost, config.voltage);
+            if !eval.check_violated {
+                self.record_dominator(config.workload, objectives);
+            }
+            out.push(Evaluation {
+                config,
+                label: config.label(),
+                objectives,
+                period_units: eval.period_units,
+                phases: eval.phases,
+                check_truncated: eval.check_truncated,
+                check_violated: eval.check_violated,
+                memoized,
+            });
+        }
+    }
+}
+
+/// Runs the sweep over `space` with the given cost model and driver
+/// configuration.
+#[must_use]
+pub fn explore(space: &DesignSpace, cost: &CostModel, cfg: &DseConfig) -> DseOutcome {
+    let tasks = space.enumerate();
+    let enumerated = tasks.len();
+    let threads = cfg.threads.max(1).min(tasks.len().max(1));
+    let shards: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, shard) in (0..tasks.len()).zip((0..threads).cycle()) {
+        shards[shard].lock().expect("shard").push_back(i);
+    }
+    let shared = Shared {
+        space,
+        cost,
+        cfg,
+        tasks,
+        shards,
+        memo: (0..MEMO_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
+        siblings: Mutex::new(HashMap::new()),
+        dominators: Mutex::new(HashMap::new()),
+        full_evaluations: AtomicUsize::new(0),
+        memo_hits: AtomicUsize::new(0),
+        pruned: AtomicUsize::new(0),
+        errors: AtomicUsize::new(0),
+        check_inconclusive: AtomicUsize::new(0),
+        check_violations: AtomicUsize::new(0),
+    };
+
+    let mut evaluations: Vec<Evaluation> = if threads == 1 {
+        let mut out = Vec::new();
+        shared.run_worker(0, &mut out);
+        out
+    } else {
+        let mut sharded: Vec<Vec<Evaluation>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|me| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        shared.run_worker(me, &mut out);
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                sharded.push(h.join().expect("worker panicked"));
+            }
+        });
+        sharded.concat()
+    };
+
+    evaluations.sort_by(|a, b| (a.config.workload, &a.label).cmp(&(b.config.workload, &b.label)));
+
+    let mut fronts = BTreeMap::new();
+    for &workload in shared.space.workloads.iter() {
+        let class: Vec<Evaluation> = evaluations
+            .iter()
+            .filter(|e| e.config.workload == workload && !e.check_violated)
+            .cloned()
+            .collect();
+        if class.is_empty() {
+            continue;
+        }
+        let front = pareto_front_indices(&class, |e| e.objectives);
+        fronts.insert(
+            workload,
+            front.into_iter().map(|i| class[i].clone()).collect(),
+        );
+    }
+
+    let stats = SweepStats {
+        enumerated,
+        full_evaluations: shared.full_evaluations.load(Ordering::Relaxed),
+        memo_hits: shared.memo_hits.load(Ordering::Relaxed),
+        pruned: shared.pruned.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        check_inconclusive: shared.check_inconclusive.load(Ordering::Relaxed),
+        check_violations: shared.check_violations.load(Ordering::Relaxed),
+    };
+    DseOutcome {
+        evaluations,
+        fronts,
+        stats,
+    }
+}

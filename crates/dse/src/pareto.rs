@@ -1,0 +1,134 @@
+//! The dominance/Pareto kernel.
+//!
+//! Objectives are (throughput ↑, energy per item ↓, area ↓). A point
+//! *dominates* another when it is at least as good on all three axes and
+//! strictly better on at least one. The **Pareto front** of a set is
+//! exactly its non-dominated subset — duplicated points are mutually
+//! non-dominating and all stay.
+//!
+//! [`pareto_front_indices`] sorts candidates by (throughput descending,
+//! energy ascending, area ascending) and scans once, testing each point
+//! only against the front built so far. This is correct because a
+//! dominator always precedes its victims in that order (domination needs
+//! `throughput ≥`, and on ties the energy/area keys break the same way),
+//! and because dominance is transitive, a point excluded by a non-front
+//! point is also excluded by some front point. The sort also makes the
+//! result **deterministic and order-independent**: any permutation of the
+//! input yields the same front in the same order. Both properties, plus
+//! exact agreement with the O(n²) reference filter
+//! [`naive_front_indices`], are property-tested in `tests/pareto_props.rs`.
+
+use std::cmp::Ordering;
+
+/// An objective vector: throughput is maximised, energy and area
+/// minimised. Values are expected to be non-NaN (comparisons use
+/// `total_cmp`, so NaN would order deterministically but meaninglessly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Items per second (maximise).
+    pub throughput: f64,
+    /// Joules per item (minimise).
+    pub energy_per_item: f64,
+    /// Gate-equivalent area (minimise).
+    pub area: f64,
+}
+
+impl Objectives {
+    /// Does `self` dominate `other` — at least as good everywhere,
+    /// strictly better somewhere?
+    #[must_use]
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let ge = self.throughput >= other.throughput
+            && self.energy_per_item <= other.energy_per_item
+            && self.area <= other.area;
+        ge && (self.throughput > other.throughput
+            || self.energy_per_item < other.energy_per_item
+            || self.area < other.area)
+    }
+
+    /// The canonical sort order of the kernel: throughput descending, then
+    /// energy and area ascending.
+    #[must_use]
+    pub fn sort_cmp(&self, other: &Objectives) -> Ordering {
+        other
+            .throughput
+            .total_cmp(&self.throughput)
+            .then(self.energy_per_item.total_cmp(&other.energy_per_item))
+            .then(self.area.total_cmp(&other.area))
+    }
+}
+
+/// Indices of the Pareto front of `items`, sorted canonically (throughput
+/// descending, ties by energy, area, then input index).
+pub fn pareto_front_indices<T>(items: &[T], obj: impl Fn(&T) -> Objectives) -> Vec<usize> {
+    let objs: Vec<Objectives> = items.iter().map(obj).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| objs[a].sort_cmp(&objs[b]).then(a.cmp(&b)));
+    let mut front: Vec<usize> = Vec::new();
+    for i in order {
+        if !front.iter().any(|&k| objs[k].dominates(&objs[i])) {
+            front.push(i);
+        }
+    }
+    front
+}
+
+/// The O(n²) reference filter: an index is on the front iff no other point
+/// dominates it. Kept public as the oracle the fast kernel is
+/// property-tested against.
+pub fn naive_front_indices<T>(items: &[T], obj: impl Fn(&T) -> Objectives) -> Vec<usize> {
+    let objs: Vec<Objectives> = items.iter().map(obj).collect();
+    let mut front: Vec<usize> = (0..items.len())
+        .filter(|&i| !objs.iter().any(|o| o.dominates(&objs[i])))
+        .collect();
+    front.sort_by(|&a, &b| objs[a].sort_cmp(&objs[b]).then(a.cmp(&b)));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(t: f64, e: f64, a: f64) -> Objectives {
+        Objectives {
+            throughput: t,
+            energy_per_item: e,
+            area: a,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_a_strict_edge() {
+        assert!(o(2.0, 1.0, 1.0).dominates(&o(1.0, 1.0, 1.0)));
+        assert!(o(1.0, 0.5, 1.0).dominates(&o(1.0, 1.0, 1.0)));
+        assert!(
+            !o(1.0, 1.0, 1.0).dominates(&o(1.0, 1.0, 1.0)),
+            "ties never dominate"
+        );
+        assert!(
+            !o(2.0, 2.0, 1.0).dominates(&o(1.0, 1.0, 1.0)),
+            "trade-offs never dominate"
+        );
+    }
+
+    #[test]
+    fn front_of_a_classic_trade_off_curve() {
+        let pts = [
+            o(10.0, 10.0, 5.0), // fast, hungry
+            o(5.0, 3.0, 5.0),   // balanced
+            o(1.0, 1.0, 2.0),   // frugal
+            o(4.0, 4.0, 5.0),   // dominated by balanced
+            o(5.0, 3.0, 5.0),   // duplicate of balanced: stays
+        ];
+        let front = pareto_front_indices(&pts, |p| *p);
+        assert_eq!(front, vec![0, 1, 4, 2]);
+        assert_eq!(front, naive_front_indices(&pts, |p| *p));
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        let empty: [Objectives; 0] = [];
+        assert!(pareto_front_indices(&empty, |p| *p).is_empty());
+        assert_eq!(pareto_front_indices(&[o(1.0, 1.0, 1.0)], |p| *p), vec![0]);
+    }
+}

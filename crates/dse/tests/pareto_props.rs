@@ -1,0 +1,75 @@
+//! Property tests for the Pareto kernel (the satellite contract of the
+//! `rap-dse` PR):
+//!
+//! * the fast front is **exactly** the set of non-dominated points —
+//!   cross-checked against the O(n²) naive filter;
+//! * the front is **deterministic and order-independent**: any permutation
+//!   of the evaluation schedule yields the same sorted front;
+//! * soundness invariants: no front member dominates another, and every
+//!   excluded point is dominated by some front member.
+
+use proptest::prelude::*;
+use rap_dse::pareto::{naive_front_indices, pareto_front_indices, Objectives};
+
+fn arb_point() -> impl Strategy<Value = Objectives> {
+    // a small discrete grid provokes plenty of exact ties and duplicates —
+    // the cases where front kernels usually go wrong
+    (0u8..6, 0u8..6, 0u8..6).prop_map(|(t, e, a)| Objectives {
+        throughput: f64::from(t) * 0.5,
+        energy_per_item: f64::from(e) * 0.25,
+        area: f64::from(a) * 2.0,
+    })
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Objectives>> {
+    proptest::collection::vec(arb_point(), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn front_equals_naive_filter(points in arb_points()) {
+        let fast = pareto_front_indices(&points, |p| *p);
+        let naive = naive_front_indices(&points, |p| *p);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn front_is_order_independent(points in arb_points(), seed in any::<u64>()) {
+        // a cheap deterministic shuffle of the evaluation order
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        let mut s = seed | 1;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let shuffled: Vec<Objectives> = order.iter().map(|&i| points[i]).collect();
+        let of = |f: Vec<usize>, pts: &[Objectives]| -> Vec<Objectives> {
+            f.into_iter().map(|i| pts[i]).collect()
+        };
+        let a = of(pareto_front_indices(&points, |p| *p), &points);
+        let b = of(pareto_front_indices(&shuffled, |p| *p), &shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominated_and_cover(points in arb_points()) {
+        let front = pareto_front_indices(&points, |p| *p);
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(!points[i].dominates(&points[j]),
+                    "front member {i} dominates front member {j}");
+            }
+        }
+        // every excluded point is dominated by some front member
+        for (i, p) in points.iter().enumerate() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    front.iter().any(|&k| points[k].dominates(p)),
+                    "excluded point {i} is not dominated"
+                );
+            }
+        }
+    }
+}

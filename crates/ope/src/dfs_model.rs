@@ -32,8 +32,7 @@ pub fn ope_stage_delays() -> StageDelays {
 ///
 /// Propagates model-construction errors.
 pub fn static_ope_dfs(n: usize) -> Result<Pipeline, DfsError> {
-    let mut spec = PipelineSpec::fully_static(n);
-    spec.delays = ope_stage_delays();
+    let spec = PipelineSpec::fully_static(n).with_delays(ope_stage_delays());
     build_pipeline(&spec)
 }
 
@@ -45,8 +44,7 @@ pub fn static_ope_dfs(n: usize) -> Result<Pipeline, DfsError> {
 ///
 /// Propagates model-construction errors.
 pub fn reconfigurable_ope_dfs(n: usize, depth: usize) -> Result<Pipeline, DfsError> {
-    let mut spec = PipelineSpec::reconfigurable_depth(n, depth);
-    spec.delays = ope_stage_delays();
+    let spec = PipelineSpec::reconfigurable_depth(n, depth)?.with_delays(ope_stage_delays());
     build_pipeline(&spec)
 }
 

@@ -6,8 +6,8 @@
 //! functional properties are expressed in the Reach-style language of the
 //! `rap-reach` crate and evaluated over the same state space.
 
-use crate::reachability::{StateId, StateSpace};
-use crate::{Marking, PetriNet, TransitionId};
+use crate::reachability::{explore_truncated, ExploreConfig, StateId, StateSpace};
+use crate::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// A reachable deadlock: a state with no enabled transitions.
 #[derive(Debug, Clone)]
@@ -101,6 +101,124 @@ pub fn find_persistence_violations(
         }
     }
     out
+}
+
+/// Outcome of one property of a budget-bounded [`quick_check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuickVerdict {
+    /// The property holds over the *entire* reachable space (the budget was
+    /// not hit, so the exploration was exhaustive).
+    Holds,
+    /// A genuine violation was found (violations found within a truncated
+    /// prefix are still real).
+    Violated,
+    /// No violation found, but the budget truncated the exploration — the
+    /// property holds on the explored prefix only.
+    Inconclusive,
+}
+
+impl QuickVerdict {
+    /// Did the check find a violation?
+    #[must_use]
+    pub fn is_violated(self) -> bool {
+        self == QuickVerdict::Violated
+    }
+}
+
+/// Result of a budget-bounded deadlock + 1-safety check.
+#[derive(Debug, Clone)]
+pub struct QuickCheck {
+    /// States explored.
+    pub states: usize,
+    /// Whether the budget truncated the exploration.
+    pub truncated: bool,
+    /// Deadlock-freedom verdict; [`QuickCheck::deadlock`] carries the
+    /// counterexample on violation.
+    pub deadlock_free: QuickVerdict,
+    /// The first deadlock found, if any.
+    pub deadlock: Option<Deadlock>,
+    /// Complementary-pair (1-safety) verdict over the supplied pairs;
+    /// [`QuickVerdict::Holds`] trivially when `pairs` is empty and the
+    /// space was exhausted.
+    pub safe: QuickVerdict,
+    /// On a safety violation: the offending state and pair index.
+    pub unsafe_witness: Option<(StateId, usize)>,
+}
+
+impl QuickCheck {
+    /// Both properties verified over the whole space.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.deadlock_free == QuickVerdict::Holds && self.safe == QuickVerdict::Holds
+    }
+
+    /// Neither property violated (possibly only on a truncated prefix).
+    #[must_use]
+    pub fn no_violation(&self) -> bool {
+        !self.deadlock_free.is_violated() && !self.safe.is_violated()
+    }
+}
+
+/// Budget-bounded deadlock and 1-safety check — the cheap screen a design
+/// sweep runs on every candidate before trusting its performance numbers.
+///
+/// Explores at most `max_states` markings (never erroring on overrun,
+/// unlike [`crate::reachability::explore`]) and checks the explored prefix
+/// for deadlocks and for violations of the complementary-pair 1-safety
+/// invariant (see [`check_complementary_pairs`]; DFS translations obtain
+/// the pairs from `PetriImage::complementary_pairs`).
+///
+/// Truncation is handled soundly in both directions: a violation found in
+/// the prefix is a real violation of the net, and a prefix state without
+/// recorded successors is re-checked against the net for enabled
+/// transitions before being called a deadlock — an unexpanded frontier
+/// state of a truncated exploration is *not* a counterexample. When the
+/// budget was hit and nothing was found, the verdicts say
+/// [`QuickVerdict::Inconclusive`] instead of over-claiming.
+#[must_use]
+pub fn quick_check(net: &PetriNet, pairs: &[(PlaceId, PlaceId)], max_states: usize) -> QuickCheck {
+    let space = explore_truncated(net, ExploreConfig { max_states });
+    let truncated = space.is_truncated();
+
+    let mut deadlock = None;
+    let mut marking = Marking::empty(net.place_count());
+    let mut enabled = Vec::new();
+    for s in space.states() {
+        if !space.successors(s).is_empty() {
+            continue;
+        }
+        space.fill_marking(s, &mut marking);
+        net.enabled_transitions_into(&marking, &mut enabled);
+        if enabled.is_empty() {
+            deadlock = Some(Deadlock {
+                state: s,
+                marking: marking.clone(),
+                trace: space.trace_to(s),
+            });
+            break;
+        }
+    }
+    let deadlock_free = match (&deadlock, truncated) {
+        (Some(_), _) => QuickVerdict::Violated,
+        (None, false) => QuickVerdict::Holds,
+        (None, true) => QuickVerdict::Inconclusive,
+    };
+
+    let unsafe_witness = check_complementary_pairs(&space, pairs);
+    let safe = match (&unsafe_witness, truncated) {
+        (Some(_), _) => QuickVerdict::Violated,
+        (None, false) => QuickVerdict::Holds,
+        (None, true) => QuickVerdict::Inconclusive,
+    };
+
+    QuickCheck {
+        states: space.len(),
+        truncated,
+        deadlock_free,
+        deadlock,
+        safe,
+        unsafe_witness,
+    }
 }
 
 /// Verifies that every reachable marking keeps the net 1-safe with respect to
@@ -224,5 +342,82 @@ mod tests {
         let space = explore(&bad, ExploreConfig::default()).unwrap();
         let hit = check_complementary_pairs(&space, &[(y0, y1)]);
         assert!(hit.is_some());
+    }
+
+    /// a → b → c: a genuine dead end the quick check must find and trace.
+    fn dead_end_net() -> (PetriNet, PlaceId, PlaceId) {
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", true);
+        let b = net.add_place("b", false);
+        let c = net.add_place("c", false);
+        let t1 = net.add_transition("t1");
+        net.consume(t1, a);
+        net.produce(t1, b);
+        let t2 = net.add_transition("t2");
+        net.consume(t2, b);
+        net.produce(t2, c);
+        (net, a, c)
+    }
+
+    fn live_ring_net(n: usize) -> PetriNet {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = (0..n)
+            .map(|i| net.add_place(format!("p{i}"), i == 0))
+            .collect();
+        for i in 0..n {
+            let t = net.add_transition(format!("t{i}"));
+            net.consume(t, places[i]);
+            net.produce(t, places[(i + 1) % n]);
+        }
+        net
+    }
+
+    #[test]
+    fn quick_check_finds_real_deadlocks_and_certifies_live_nets() {
+        let (net, _, c) = dead_end_net();
+        let qc = quick_check(&net, &[], 1_000);
+        assert_eq!(qc.deadlock_free, QuickVerdict::Violated);
+        assert!(!qc.no_violation());
+        let dl = qc.deadlock.expect("counterexample attached");
+        assert_eq!(dl.trace.len(), 2);
+        assert!(dl.marking.is_marked(c));
+
+        let qc = quick_check(&live_ring_net(5), &[], 1_000);
+        assert!(qc.is_clean(), "{qc:?}");
+        assert_eq!(qc.states, 5);
+        assert!(!qc.truncated);
+    }
+
+    /// Truncation must downgrade "no violation" to Inconclusive, and an
+    /// unexpanded frontier state must not masquerade as a deadlock.
+    #[test]
+    fn quick_check_is_sound_under_truncation() {
+        // the dead-end net truncated to 2 of its 3 states: state b has no
+        // recorded successors but t2 is enabled there — not a deadlock
+        let (net, _, _) = dead_end_net();
+        let qc = quick_check(&net, &[], 2);
+        assert!(qc.truncated);
+        assert_eq!(qc.deadlock_free, QuickVerdict::Inconclusive);
+        assert!(qc.deadlock.is_none());
+        assert!(qc.no_violation() && !qc.is_clean());
+
+        // a live ring truncated mid-way: inconclusive, not violated
+        let qc = quick_check(&live_ring_net(8), &[], 3);
+        assert!(qc.truncated);
+        assert_eq!(qc.deadlock_free, QuickVerdict::Inconclusive);
+        assert_eq!(qc.safe, QuickVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn quick_check_reports_unsafe_pairs_even_when_truncated() {
+        let mut bad = PetriNet::new();
+        let y0 = bad.add_place("y_0", true);
+        let y1 = bad.add_place("y_1", false);
+        let t = bad.add_transition("oops");
+        bad.read(t, y0);
+        bad.produce(t, y1);
+        let qc = quick_check(&bad, &[(y0, y1)], 2);
+        assert_eq!(qc.safe, QuickVerdict::Violated);
+        assert!(qc.unsafe_witness.is_some());
     }
 }

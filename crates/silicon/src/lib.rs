@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod cost;
 pub mod delay;
 pub mod gate;
 pub mod map;
@@ -35,6 +36,7 @@ pub mod power;
 pub mod sim;
 pub mod verilog;
 
+pub use cost::{CostModel, GateCosts};
 pub use delay::{DelayModel, VoltageProfile};
 pub use gate::GateKind;
 pub use netlist::{CellId, NetId, Netlist};

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stages = 3;
     println!("## verification of every configuration (N = {stages})\n");
     for depth in 1..=stages {
-        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(stages, depth))?;
+        let p = build_pipeline(&PipelineSpec::reconfigurable_depth(stages, depth)?)?;
         let report = verify(
             &p.dfs,
             &VerifyConfig {
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n## performance analysis (Fig. 5 style)\n");
-    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(stages, stages))?;
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(stages, stages)?)?;
     let perf = analyse(&p.dfs)?;
     println!(
         "throughput bound {:.4}, bottleneck `{}`, critical cycle:",

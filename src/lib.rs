@@ -15,7 +15,10 @@
 //! * [`silicon`] (`rap-silicon`) — NCL-D dual-rail gates, netlists,
 //!   Verilog export and a voltage-aware event-driven simulator;
 //! * [`ope`] (`rap-ope`) — the ordinal-pattern-encoding accelerator case
-//!   study and the evaluation-chip model.
+//!   study and the evaluation-chip model;
+//! * [`dse`] (`rap-dse`) — parallel design-space exploration: Pareto
+//!   fronts over throughput, energy per item and area, with structural
+//!   memoization and admissible pruning.
 //!
 //! # Quick start
 //!
@@ -50,6 +53,8 @@
 #![warn(missing_docs)]
 
 pub use dfs_core as dfs;
+#[cfg(feature = "dse")]
+pub use rap_dse as dse;
 #[cfg(feature = "ope")]
 pub use rap_ope as ope;
 pub use rap_petri as petri;

@@ -57,7 +57,7 @@ edge r2 -> r0
 /// Reach predicates work against DFS-generated nets across crates.
 #[test]
 fn reach_predicates_on_dfs_models() {
-    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 1)).unwrap();
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(2, 1).unwrap()).unwrap();
     let img = to_petri(&p.dfs);
     let space = rap::petri::reachability::explore(&img.net, Default::default()).expect("explores");
 

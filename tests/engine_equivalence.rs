@@ -62,7 +62,8 @@ fn arb_pipeline() -> impl Strategy<Value = Dfs> {
         0usize..=3,
     )
         .prop_map(|(stages, reconf, depth)| {
-            let mut spec = PipelineSpec::reconfigurable_depth(stages, depth.min(stages));
+            let mut spec =
+                PipelineSpec::reconfigurable_depth(stages, depth.clamp(1, stages)).unwrap();
             for (i, flag) in reconf.iter().take(stages).enumerate().skip(1) {
                 spec.reconfigurable[i] = *flag;
             }

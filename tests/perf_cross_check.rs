@@ -139,17 +139,17 @@ fn built_pipeline_specs_agree() {
         // all stages included
         (
             "reconfigurable(3,3)",
-            PipelineSpec::reconfigurable_depth(3, 3),
+            PipelineSpec::reconfigurable_depth(3, 3).unwrap(),
         ),
         // excluded tail stages: the unfolding analyses the *configured*
         // schedule instead of pretending every stage is included
         (
             "reconfigurable(3,1)",
-            PipelineSpec::reconfigurable_depth(3, 1),
+            PipelineSpec::reconfigurable_depth(3, 1).unwrap(),
         ),
         (
             "reconfigurable(4,2)",
-            PipelineSpec::reconfigurable_depth(4, 2),
+            PipelineSpec::reconfigurable_depth(4, 2).unwrap(),
         ),
     ] {
         let p = build_pipeline(&spec).unwrap();
