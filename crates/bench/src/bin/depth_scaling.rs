@@ -3,10 +3,12 @@
 //! linearly with the pipeline length; the slope of increment is
 //! reverse-proportional to the supply voltage."
 
+use rap_bench::cli::BenchCli;
 use rap_bench::{banner, num, row, ITEMS};
 use rap_ope::{ChipTimingModel, PipelineKind, SyncStyle};
 
 fn main() {
+    let cli = BenchCli::parse("depth_scaling", None);
     banner("Depth scaling — time/energy vs pipeline length at several voltages");
     let m = ChipTimingModel::paper_calibrated();
     let voltages = [0.5, 0.8, 1.2, 1.6];
@@ -24,11 +26,12 @@ fn main() {
         header.push(format!("E@{v}V[mJ]"));
     }
     println!("{}", row(&header, &widths));
-    for depth in (3..=18)
-        .step_by(3)
-        .chain([18])
-        .collect::<std::collections::BTreeSet<_>>()
-    {
+    let depths: std::collections::BTreeSet<usize> = if cli.quick {
+        [3, 9, 18].into()
+    } else {
+        (3..=18).step_by(3).chain([18]).collect()
+    };
+    for depth in depths {
         let mut cells = vec![format!("{depth}")];
         for v in voltages {
             cells.push(num(m.computation_time(kind(depth), v, ITEMS), 3));

@@ -16,34 +16,16 @@
 //! against a single-threaded run; `--out` overrides the output path. The
 //! emitted JSON is schema-validated before the process exits.
 
+use rap_bench::cli::BenchCli;
 use rap_bench::dse::{design_point, render_json, run_sweep, validate};
 use rap_bench::{banner, num, row};
 use rap_dse::{explore, DseConfig};
 use rap_silicon::cost::CostModel;
-use std::path::PathBuf;
 
 fn main() {
-    let mut quick = false;
-    let mut out: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                let path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path argument");
-                    std::process::exit(2);
-                });
-                out = Some(PathBuf::from(path));
-            }
-            other => {
-                eprintln!("unknown argument `{other}` (expected --quick / --out PATH)");
-                std::process::exit(2);
-            }
-        }
-    }
-    let out = out
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dse.json"));
+    let cli = BenchCli::parse("dse_pareto", Some("BENCH_dse.json"));
+    let quick = cli.quick;
+    let out = cli.out_path();
 
     banner(if quick {
         "Design-space exploration (quick smoke space)"
@@ -55,13 +37,20 @@ fn main() {
     let stats = run.outcome.stats;
     println!(
         "{} configurations in {} ms on {} threads: {} full evaluations, \
-         {} memo hits, {} pruned as provably dominated\n",
+         {} memo hits, {} pruned as provably dominated",
         stats.enumerated,
         num(run.elapsed_ms, 0),
         run.threads,
         stats.full_evaluations,
         stats.memo_hits,
         stats.pruned,
+    );
+    println!(
+        "warm re-sweep against the same session: {} ms, {} full evaluations \
+         ({} served from the artifact cache) — fronts bit-identical\n",
+        num(run.warm_elapsed_ms, 0),
+        run.warm_stats.full_evaluations,
+        run.warm_stats.memo_hits,
     );
 
     let widths = [34usize, 13, 13, 9, 8];

@@ -9,13 +9,21 @@
 
 use dfs_core::examples::{conditional_dfs, conditional_dfs_buffered, conditional_sdfs};
 use dfs_core::timed::{simulate_timed, ChoicePolicy, TimedConfig};
+use rap_bench::cli::BenchCli;
 use rap_bench::{banner, num, row};
 
 const COMP_DEPTH: usize = 3;
 const COMP_DELAY: f64 = 5.0;
-const OUT_TOKENS: u64 = 400;
 
 fn main() {
+    let cli = BenchCli::parse("fig1_motivating", None);
+    // --quick: fewer measured tokens and hit-rates (CI smoke)
+    let out_tokens: u64 = if cli.quick { 120 } else { 400 };
+    let hit_rates: &[f64] = if cli.quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
     banner("Fig. 1 — SDFS (always compute) vs DFS (conditional bypass)");
     let sdfs = conditional_sdfs(COMP_DEPTH, COMP_DELAY).unwrap();
     let dfs = conditional_dfs(COMP_DEPTH, COMP_DELAY).unwrap();
@@ -38,17 +46,17 @@ fn main() {
         )
     );
 
-    for p_true in [0.0, 0.25, 0.5, 0.75, 1.0] {
+    for &p_true in hit_rates {
         let run = |dfs_model: &dfs_core::Dfs, out| {
             let cfg = TimedConfig {
                 max_events: u64::MAX,
                 choice: ChoicePolicy::Bernoulli { p_true, seed: 42 },
-                stop_after_marks: Some((out, OUT_TOKENS)),
+                stop_after_marks: Some((out, out_tokens)),
             };
             let r = simulate_timed(dfs_model, &cfg).expect("live model");
             let thr = r.throughput(20).unwrap_or(0.0);
             let events: u64 = r.event_counts.iter().sum();
-            (thr, events as f64 / OUT_TOKENS as f64)
+            (thr, events as f64 / out_tokens as f64)
         };
         // the SDFS model has no free choice: its cost is hit-rate
         // independent (that is the point of the comparison)

@@ -9,9 +9,11 @@
 use dfs_core::examples::conditional_dfs;
 use dfs_core::to_petri;
 use rap_bench::banner;
+use rap_bench::cli::BenchCli;
 use rap_petri::reachability::{explore, ExploreConfig};
 
 fn main() {
+    let cli = BenchCli::parse("fig4_petri_translation", None);
     banner("Fig. 4 — Petri-net image of the Fig. 1b DFS model");
     let model = conditional_dfs(1, 3.0).unwrap();
     let img = to_petri(&model.dfs);
@@ -57,6 +59,10 @@ fn main() {
     );
     println!("\nreachable markings: {}", space.len());
 
-    println!("\n--- DOT ---");
-    println!("{}", rap_petri::dot::to_dot(&img.net));
+    if cli.quick {
+        println!("\n--- DOT (skipped under --quick) ---");
+    } else {
+        println!("\n--- DOT ---");
+        println!("{}", rap_petri::dot::to_dot(&img.net));
+    }
 }

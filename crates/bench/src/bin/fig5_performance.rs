@@ -13,6 +13,7 @@
 use dfs_core::perf::{analyse, Construction};
 use dfs_core::timed::{measure_steady_period, measure_throughput, ChoicePolicy};
 use dfs_core::wagging::wagged_pipeline;
+use rap_bench::cli::BenchCli;
 use rap_bench::{banner, num};
 use rap_ope::dfs_model::{reconfigurable_ope_dfs, static_ope_dfs};
 
@@ -26,6 +27,7 @@ fn construction_tag(c: Construction) -> String {
 }
 
 fn main() {
+    let cli = BenchCli::parse("fig5_performance", None);
     banner("Fig. 5 — dataflow performance analysis (cycles, bottlenecks)");
 
     for (name, pipe) in [
@@ -83,7 +85,8 @@ fn main() {
     }
 
     println!("\n## wagging a bottleneck stage (Brej [15], §II-D)");
-    for ways in [1usize, 2, 3] {
+    let way_counts: &[usize] = if cli.quick { &[1, 2] } else { &[1, 2, 3] };
+    for &ways in way_counts {
         let w = wagged_pipeline(ways, 1, 8.0).unwrap();
         let report = analyse(&w.dfs).expect("live wagged pipeline analyses");
         let steady = measure_steady_period(&w.dfs, w.output, 200, ChoicePolicy::AlwaysTrue)

@@ -11,8 +11,10 @@ use dfs_core::pipelines::{build_pipeline, PipelineSpec};
 use dfs_core::verify::{verify, VerifyConfig};
 use dfs_core::{DfsBuilder, TokenValue};
 use rap_bench::banner;
+use rap_bench::cli::BenchCli;
 
 fn main() {
+    let cli = BenchCli::parse("fig7_verification", None);
     banner("Fig. 7 — verification of reconfigurable OPE configurations");
     let cfg = VerifyConfig {
         max_states: 10_000_000,
@@ -20,7 +22,8 @@ fn main() {
 
     println!("## correct initialisations (3-stage model, every depth)\n");
     println!("depth  states   deadlocks  mismatch  hazards");
-    for depth in 1..=3 {
+    let max_depth = if cli.quick { 2 } else { 3 };
+    for depth in 1..=max_depth {
         let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, depth).unwrap()).unwrap();
         let report = verify(&p.dfs, &cfg).unwrap();
         println!(

@@ -7,12 +7,15 @@
 //! static pipeline is exercised.
 
 use rap_bench::banner;
+use rap_bench::cli::BenchCli;
 use rap_ope::chip::{behavioural_checksum, Chip, ChipConfig};
 
 const SEED: u32 = 0x5EED_0001;
-const COUNT: u64 = 200_000;
 
 fn main() {
+    let cli = BenchCli::parse("fig8_chip", None);
+    // --quick: fewer LFSR items per checksum run (CI smoke)
+    let count: u64 = if cli.quick { 20_000 } else { 200_000 };
     banner("Fig. 8 — OPE chip: structure and checksum validation");
     println!(
         "components: LFSR (32-bit Galois, taps 0x{:08X}), accumulator,\n\
@@ -21,19 +24,19 @@ fn main() {
         rap_ope::lfsr::TAPS
     );
 
-    println!("random mode, seed 0x{SEED:08X}, count {COUNT}:\n");
+    println!("random mode, seed 0x{SEED:08X}, count {count}:\n");
     println!("config          depth  chip checksum       behavioural model   match");
     let mut st = Chip::new(ChipConfig::Static);
-    let got = st.run_random(SEED, COUNT);
-    let expect = behavioural_checksum(18, SEED, COUNT);
+    let got = st.run_random(SEED, count);
+    let expect = behavioural_checksum(18, SEED, count);
     println!(
         "static             18  0x{got:016X}  0x{expect:016X}  {}",
         got == expect
     );
     for depth in 3..=18 {
         let mut chip = Chip::new(ChipConfig::Reconfigurable { depth });
-        let got = chip.run_random(SEED, COUNT);
-        let expect = behavioural_checksum(depth, SEED, COUNT);
+        let got = chip.run_random(SEED, count);
+        let expect = behavioural_checksum(depth, SEED, count);
         println!(
             "reconfigurable  {depth:>5}  0x{got:016X}  0x{expect:016X}  {}",
             got == expect

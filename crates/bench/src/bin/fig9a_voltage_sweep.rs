@@ -7,10 +7,12 @@
 //! 16M LFSR-generated items). Also prints the tree-synchronisation variant
 //! — the paper's "<10% in a future prototype" estimate.
 
+use rap_bench::cli::BenchCli;
 use rap_bench::{banner, num, row, ITEMS, REF_ENERGY_J, REF_TIME_S, V_NOMINAL};
 use rap_ope::{ChipTimingModel, PipelineKind, SyncStyle};
 
 fn main() {
+    let cli = BenchCli::parse("fig9a_voltage_sweep", None);
     banner("Fig. 9a — computation time and energy vs supply voltage (16M items)");
     let m = ChipTimingModel::paper_calibrated();
     let static_k = PipelineKind::Static;
@@ -48,7 +50,12 @@ fn main() {
             &widths
         )
     );
-    for &v in &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6] {
+    let voltages: &[f64] = if cli.quick {
+        &[0.5, 0.9, 1.2, 1.6]
+    } else {
+        &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6]
+    };
+    for &v in voltages {
         let cells = vec![
             format!("{v:.1}"),
             num(m.computation_time(static_k, v, ITEMS) / t_ref, 3),

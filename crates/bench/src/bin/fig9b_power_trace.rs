@@ -7,10 +7,12 @@
 //! the state (demonstrated at gate level in `rap-silicon`'s freeze tests).
 
 use rap_bench::banner;
+use rap_bench::cli::BenchCli;
 use rap_ope::{ChipTimingModel, PipelineKind, SyncStyle};
 use rap_silicon::VoltageProfile;
 
 fn main() {
+    let cli = BenchCli::parse("fig9b_power_trace", None);
     banner("Fig. 9b — power at a changing supply voltage (freeze and recovery)");
     let m = ChipTimingModel::paper_calibrated();
     let kind = PipelineKind::Reconfigurable {
@@ -35,7 +37,9 @@ fn main() {
     // freeze window
     let items = (40.0 / m.cycle_time(kind, 0.5)) as u64;
     let start = 8.0;
-    let (trace, finished) = m.power_trace(kind, &profile, items, start, 80.0, 0.25);
+    // --quick: a coarser sampling grid (CI smoke; the figure uses 0.25 s)
+    let sample_step = if cli.quick { 1.0 } else { 0.25 };
+    let (trace, finished) = m.power_trace(kind, &profile, items, start, 80.0, sample_step);
 
     println!("items: {items}  computation starts at t = {start} s\n");
     println!("   t[s]    V[V]    P[uW]   phase");

@@ -5,11 +5,13 @@
 
 use dfs_core::DfsBuilder;
 use rap_bench::banner;
+use rap_bench::cli::BenchCli;
 use rap_silicon::components::CompletionStyle;
 use rap_silicon::map::{map_dfs, BlockFunction, MapConfig};
 use rap_silicon::verilog::to_verilog;
 
 fn main() {
+    let cli = BenchCli::parse("flow_verilog", None);
     banner("Flow — DFS -> NCL-D netlist -> Verilog export");
 
     // a small OPE-style stage: window register + comparator + rank adder
@@ -50,8 +52,9 @@ fn main() {
     let mapped = map_dfs(&dfs, &cfg).unwrap();
     let verilog = to_verilog(&mapped.netlist, "ope_stage");
     let lines: Vec<&str> = verilog.lines().collect();
-    println!("\nVerilog ({} lines); first 40:", lines.len());
-    for l in lines.iter().take(40) {
+    let shown = if cli.quick { 10 } else { 40 };
+    println!("\nVerilog ({} lines); first {shown}:", lines.len());
+    for l in lines.iter().take(shown) {
         println!("  {l}");
     }
 }

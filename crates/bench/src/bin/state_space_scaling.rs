@@ -14,34 +14,14 @@
 //! configuration); `--out` overrides the output path. The emitted JSON is
 //! schema-validated before the process exits.
 
+use rap_bench::cli::BenchCli;
 use rap_bench::state_space::{render_json, run_sweep, validate};
 use rap_bench::{banner, num, row};
-use std::path::PathBuf;
 
 fn main() {
-    let mut quick = false;
-    let mut out: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                let path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path argument");
-                    std::process::exit(2);
-                });
-                out = Some(PathBuf::from(path));
-            }
-            other => {
-                eprintln!("unknown argument `{other}` (expected --quick / --out PATH)");
-                std::process::exit(2);
-            }
-        }
-    }
-    // default: BENCH_state_space.json at the repository root
-    let out = out.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_state_space.json")
-    });
+    let cli = BenchCli::parse("state_space_scaling", Some("BENCH_state_space.json"));
+    let quick = cli.quick;
+    let out = cli.out_path();
 
     banner(if quick {
         "State-space scaling (quick sweep): naive explorer vs incremental engine"

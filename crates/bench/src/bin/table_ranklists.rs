@@ -10,9 +10,12 @@
 //! ```
 
 use rap_bench::banner;
+use rap_bench::cli::BenchCli;
 use rap_ope::reference::{rank_list, windows_ranked};
 
 fn main() {
+    // already instant; --quick is accepted for CLI uniformity
+    let _cli = BenchCli::parse("table_ranklists", None);
     banner("§III-A — OPE example: stream (3,1,4,1,5,9,2,6), window size N = 6");
     let stream: Vec<u16> = vec![3, 1, 4, 1, 5, 9, 2, 6];
     println!("Index  Window                Rank list");

@@ -1,0 +1,149 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary in `src/bin/` accepts the same standard options:
+//!
+//! * `--quick` — shrink the run to a sub-second CI smoke configuration
+//!   (binaries whose full run is already instant accept the flag for
+//!   uniformity and say so in their module docs);
+//! * `--out PATH` — for binaries that persist a `BENCH_*.json` document,
+//!   override the output path (default: the file at the repository root).
+//!
+//! Anything else exits with status 2 and a usage line naming the binary —
+//! previously every JSON-emitting binary hand-rolled this loop, and the
+//! others accepted no arguments at all (silently ignoring typos was never
+//! possible, but adding an option meant another copy of the loop).
+
+use std::path::PathBuf;
+
+/// Parsed standard options of one experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchCli {
+    /// `--quick`: run the sub-second smoke configuration.
+    pub quick: bool,
+    out: Option<PathBuf>,
+    default_out: Option<&'static str>,
+}
+
+impl BenchCli {
+    /// The output path: `--out` if given, else the declared default file
+    /// at the repository root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binary declared no default output file (such
+    /// binaries reject `--out` at parse time, so this is a programming
+    /// error, not a user error).
+    #[must_use]
+    pub fn out_path(&self) -> PathBuf {
+        match (&self.out, self.default_out) {
+            (Some(path), _) => path.clone(),
+            (None, Some(default)) => {
+                // crates/bench/../../ = the repository root
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{default}"))
+            }
+            (None, None) => unreachable!("out_path() on a binary without a default output file"),
+        }
+    }
+
+    fn usage(bin: &str, default_out: Option<&'static str>) -> String {
+        match default_out {
+            Some(file) => format!("usage: {bin} [--quick] [--out PATH]   (default out: {file})"),
+            None => format!("usage: {bin} [--quick]"),
+        }
+    }
+
+    /// Parses `args` (without the program name). `default_out` declares
+    /// the binary's output file at the repository root; `None` means the
+    /// binary writes no file and `--out` is rejected.
+    ///
+    /// # Errors
+    ///
+    /// A usage message on an unknown argument, a missing `--out` operand,
+    /// or `--out` passed to a binary without an output file.
+    pub fn parse_from(
+        bin: &str,
+        default_out: Option<&'static str>,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<BenchCli, String> {
+        let mut cli = BenchCli {
+            quick: false,
+            out: None,
+            default_out,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--out" if default_out.is_some() => {
+                    let path = args.next().ok_or_else(|| {
+                        format!(
+                            "--out needs a path argument\n{}",
+                            Self::usage(bin, default_out)
+                        )
+                    })?;
+                    cli.out = Some(PathBuf::from(path));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}`\n{}",
+                        Self::usage(bin, default_out)
+                    ));
+                }
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Parses the process arguments; on error prints the usage line and
+    /// exits with status 2 (the conventional bad-usage status every
+    /// binary previously hand-rolled).
+    #[must_use]
+    pub fn parse(bin: &str, default_out: Option<&'static str>) -> BenchCli {
+        Self::parse_from(bin, default_out, std::env::args().skip(1)).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let cli = BenchCli::parse_from("b", Some("BENCH_x.json"), args(&[])).unwrap();
+        assert!(!cli.quick);
+        assert!(cli.out_path().ends_with("../../BENCH_x.json"));
+        let cli = BenchCli::parse_from("b", Some("BENCH_x.json"), args(&["--quick"])).unwrap();
+        assert!(cli.quick);
+        let cli = BenchCli::parse_from("b", Some("BENCH_x.json"), args(&["--out", "/tmp/y.json"]))
+            .unwrap();
+        assert_eq!(cli.out_path(), PathBuf::from("/tmp/y.json"));
+    }
+
+    #[test]
+    fn errors_name_the_binary_and_its_options() {
+        let err =
+            BenchCli::parse_from("fig5_performance", None, args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"));
+        assert!(err.contains("usage: fig5_performance [--quick]"));
+        assert!(
+            !err.contains("--out"),
+            "no-output binaries must not advertise --out"
+        );
+        // --out is rejected where there is nothing to write
+        let err =
+            BenchCli::parse_from("fig5_performance", None, args(&["--out", "x"])).unwrap_err();
+        assert!(err.contains("unknown argument `--out`"));
+        // missing operand
+        let err = BenchCli::parse_from("dse_pareto", Some("BENCH_dse.json"), args(&["--out"]))
+            .unwrap_err();
+        assert!(err.contains("--out needs a path argument"));
+        assert!(err.contains("BENCH_dse.json"));
+    }
+}

@@ -18,13 +18,15 @@
 
 use crate::json::{escape, Json};
 use rap_dse::pareto::Objectives;
-use rap_dse::{explore, DesignSpace, DseConfig, DseOutcome, Hardware};
+use rap_dse::{explore_with_session, DesignSpace, DseConfig, DseOutcome, Hardware};
 use rap_ope::dfs_model::ope_stage_delays;
 use rap_silicon::cost::CostModel;
 use std::time::Instant;
 
-/// Schema tag embedded in (and required from) the emitted JSON.
-pub const SCHEMA: &str = "rap/dse-pareto/v1";
+/// Schema tag embedded in (and required from) the emitted JSON. `v2`
+/// added the `warm` object: the same sweep re-run against the warm
+/// session, recording what the cross-sweep artifact cache saves.
+pub const SCHEMA: &str = "rap/dse-pareto/v2";
 
 /// The label of the paper's design point in the full sweep.
 pub const PAPER_DESIGN_POINT: &str = "reconfigurable(6)@d4 s1 1.2V";
@@ -80,13 +82,19 @@ pub fn paper_space(quick: bool) -> DesignSpace {
     }
 }
 
-/// A completed sweep with its timing.
+/// A completed sweep with its timing: the cold pass (empty session) and
+/// a warm pass of the identical space against the now-populated session.
 #[derive(Debug)]
 pub struct SweepRun {
-    /// The outcome.
+    /// The cold-pass outcome.
     pub outcome: DseOutcome,
-    /// Wall-clock of the sweep (ms).
+    /// Wall-clock of the cold pass (ms).
     pub elapsed_ms: f64,
+    /// Wall-clock of the warm pass (ms).
+    pub warm_elapsed_ms: f64,
+    /// Counters of the warm pass (full evaluations ≈ 0: every structure
+    /// is served from the session cache).
+    pub warm_stats: rap_dse::SweepStats,
     /// Threads used.
     pub threads: usize,
     /// Quick space?
@@ -107,9 +115,21 @@ pub fn run_sweep(quick: bool) -> SweepRun {
     let space = paper_space(quick);
     let cost = CostModel::default();
     let cfg = DseConfig::default();
+    let session = rap_session::Session::new();
     let t0 = Instant::now();
-    let outcome = explore(&space, &cost, &cfg);
+    let outcome = explore_with_session(&space, &cost, &cfg, &session);
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // warm pass: the identical space against the populated session — the
+    // cross-sweep artifact cache serves every structure, so the fronts
+    // must be identical and (almost) no full evaluation happens
+    let t1 = Instant::now();
+    let warm = explore_with_session(&space, &cost, &cfg, &session);
+    let warm_elapsed_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_fronts_identical(&outcome, &warm);
+    assert!(
+        warm.stats.full_evaluations <= outcome.stats.full_evaluations,
+        "warm pass re-evaluated more than the cold pass"
+    );
     assert_eq!(outcome.stats.errors, 0, "sweep produced evaluation errors");
     assert_eq!(
         outcome.stats.check_violations, 0,
@@ -139,8 +159,38 @@ pub fn run_sweep(quick: bool) -> SweepRun {
     SweepRun {
         outcome,
         elapsed_ms,
+        warm_elapsed_ms,
+        warm_stats: warm.stats,
         threads: cfg.threads,
         quick,
+    }
+}
+
+/// Bitwise front equality between two sweeps of the same space (labels,
+/// objectives, periods): what "the cache changes the cost, never the
+/// answer" means operationally.
+fn assert_fronts_identical(a: &DseOutcome, b: &DseOutcome) {
+    assert_eq!(a.fronts.len(), b.fronts.len(), "front count differs");
+    for (workload, fa) in &a.fronts {
+        let fb = b.front(*workload);
+        assert_eq!(
+            fa.len(),
+            fb.len(),
+            "front size differs at demand {workload}"
+        );
+        for (x, y) in fa.iter().zip(fb) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(
+                x.objectives.throughput.to_bits(),
+                y.objectives.throughput.to_bits()
+            );
+            assert_eq!(
+                x.objectives.energy_per_item.to_bits(),
+                y.objectives.energy_per_item.to_bits()
+            );
+            assert_eq!(x.objectives.area.to_bits(), y.objectives.area.to_bits());
+            assert_eq!(x.period_units.to_bits(), y.period_units.to_bits());
+        }
     }
 }
 
@@ -174,6 +224,21 @@ pub fn render_json(run: &SweepRun) -> String {
         "    \"check_inconclusive\": {}\n",
         stats.check_inconclusive
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"warm\": {\n");
+    out.push_str(&format!(
+        "    \"elapsed_ms\": {:.3},\n",
+        run.warm_elapsed_ms
+    ));
+    out.push_str(&format!(
+        "    \"full_evaluations\": {},\n",
+        run.warm_stats.full_evaluations
+    ));
+    out.push_str(&format!(
+        "    \"memo_hits\": {},\n",
+        run.warm_stats.memo_hits
+    ));
+    out.push_str(&format!("    \"pruned\": {}\n", run.warm_stats.pruned));
     out.push_str("  },\n");
 
     let (dp_label, dp_workload) = design_point(run.quick);
@@ -318,6 +383,34 @@ pub fn validate(src: &str) -> Result<Summary, String> {
     if full_evaluations + memo_hits + pruned != configurations {
         return Err(format!(
             "work accounting broken: {full_evaluations} + {memo_hits} + {pruned} != {configurations}"
+        ));
+    }
+
+    // the warm pass: same accounting, and the session cache must not
+    // *increase* the number of full evaluations
+    let warm = doc.get("warm").ok_or("missing \"warm\" object (v2)")?;
+    let warm_stat = |k: &str| -> Result<usize, String> {
+        warm.get(k)
+            .and_then(Json::as_f64)
+            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as usize)
+            .ok_or(format!("warm: missing count \"{k}\""))
+    };
+    warm.get("elapsed_ms")
+        .and_then(Json::as_f64)
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .ok_or("warm: missing non-negative \"elapsed_ms\"")?;
+    let warm_full = warm_stat("full_evaluations")?;
+    let warm_memo = warm_stat("memo_hits")?;
+    let warm_pruned = warm_stat("pruned")?;
+    if warm_full + warm_memo + warm_pruned != configurations {
+        return Err(format!(
+            "warm work accounting broken: {warm_full} + {warm_memo} + {warm_pruned} != {configurations}"
+        ));
+    }
+    if warm_full > full_evaluations {
+        return Err(format!(
+            "warm pass performed more full evaluations ({warm_full}) than the cold pass ({full_evaluations})"
         ));
     }
 

@@ -26,6 +26,22 @@ fn quick_sweep_emits_valid_json() {
 fn memoization_collapses_voltage_and_demand_replicas() {
     let run = run_sweep(true);
     let stats = run.outcome.stats;
+    // the warm pass ran the identical space against the populated
+    // session: every structure analysed in the cold pass is an
+    // artifact-cache hit (run_sweep has already asserted the fronts are
+    // bit-identical). Only structures the cold pass *pruned* can still be
+    // evaluated, and then only when parallel scheduling lets one slip
+    // past the warm pruner — on one thread the count is exactly 0.
+    assert!(
+        run.warm_stats.full_evaluations <= stats.pruned,
+        "{:?}",
+        run.warm_stats
+    );
+    assert!(
+        run.warm_stats.memo_hits >= stats.memo_hits,
+        "{:?}",
+        run.warm_stats
+    );
     // 48 enumerated configurations share only 12 distinct structures
     // (2 sizings × (1 static + 3 reconfigurable depths + 2 wagged)), and
     // the memo's in-flight reservation guarantees each structure is fully

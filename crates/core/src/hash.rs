@@ -31,12 +31,17 @@ use crate::node::{InitialMarking, NodeKind, TokenValue};
 /// standard library's hashers are seeded per-process; structural hashes
 /// must be stable across processes so equal structures hash equally in
 /// every run (memo keys, recorded sweeps and tests all rely on that).
-fn mix(mut x: u64) -> u64 {
+/// Public as [`mix64`]: every process-stable digest in the workspace
+/// (`rap-session` interning, `rap_silicon::cost::CostModel::cache_key`)
+/// uses this one mixer instead of keeping private copies in sync.
+pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
 }
+
+use mix64 as mix;
 
 /// Folds `v` into `acc` non-commutatively.
 fn fold(acc: u64, v: u64) -> u64 {
@@ -75,7 +80,7 @@ impl Dfs {
     /// reordering, sensitive to kinds, initial markings, delays, guard
     /// modes and the (inversion-flagged) arc structure.
     ///
-    /// See the [module docs](self) for the construction and the collision
+    /// See `src/hash.rs` module docs for the construction and the collision
     /// contract.
     #[must_use]
     pub fn structural_hash(&self) -> u64 {

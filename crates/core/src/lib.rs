@@ -50,7 +50,6 @@
 mod builder;
 mod error;
 mod graph;
-mod hash;
 mod lts;
 mod node;
 mod state;
@@ -58,6 +57,7 @@ mod state;
 pub mod dot;
 pub mod dsl;
 pub mod examples;
+pub mod hash;
 pub mod optimize;
 pub mod perf;
 pub mod pipelines;

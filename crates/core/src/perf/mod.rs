@@ -279,6 +279,25 @@ impl From<McrError> for DfsError {
     }
 }
 
+impl std::fmt::Display for McrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McrError::TokenFreeCycle { vertices } => {
+                write!(f, "cycle without tokens through event vertices ")?;
+                for (i, v) in vertices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "v{v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for McrError {}
+
 pub(crate) fn dedup(rs: &[crate::graph::RRef]) -> Vec<NodeId> {
     let mut v: Vec<NodeId> = rs.iter().map(|r| r.node).collect();
     v.sort_unstable();

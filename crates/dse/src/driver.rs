@@ -1,5 +1,5 @@
 //! The parallel sweep driver: a work-stealing evaluation pool with
-//! sharded result collection, structural memoization and admissible
+//! sharded result collection, session-backed memoization and admissible
 //! pruning.
 //!
 //! * **Work stealing** — tasks (configurations) are dealt round-robin into
@@ -9,17 +9,21 @@
 //! * **Sharded collection** — each worker appends to its own result
 //!   vector; vectors are concatenated after the pool joins, then sorted
 //!   canonically, so the output is deterministic regardless of schedule.
-//! * **Memoization** — structural evaluations are cached under
-//!   `(structural_hash, node/edge/token counts)`. Configurations that
-//!   differ only in supply voltage — or in demanded depth, for hardware
-//!   that cannot reconfigure — build isomorphic models and share one
-//!   evaluation. Memo slots are in-flight reservations (a `OnceLock` per
-//!   structure): concurrent twins block on the first evaluation instead
-//!   of duplicating it, so each distinct structure is fully evaluated at
-//!   most once per sweep regardless of thread count. (The exact
-//!   full/memo/pruned *split* can still shift marginally under parallel
-//!   scheduling, because pruning races the arrival of dominators; the
-//!   fronts and every per-point value are schedule-invariant.)
+//! * **Memoization** — every configuration is compiled into a shared
+//!   [`rap_session::Session`], which interns models by identity
+//!   (structural hash + byte-exact digest). Configurations that differ
+//!   only in supply voltage — or in demanded depth, for hardware that
+//!   cannot reconfigure — build identical models and share one
+//!   [`CompiledModel`], whose query slots are in-flight reservations (a
+//!   `OnceLock` per artifact): concurrent twins block on the first
+//!   evaluation instead of duplicating it, so each distinct structure is
+//!   fully evaluated at most once per sweep regardless of thread count.
+//!   (The exact full/memo/pruned *split* can still shift marginally under
+//!   parallel scheduling, because pruning races the arrival of
+//!   dominators; the fronts and every per-point value are
+//!   schedule-invariant.) Passing an external session to
+//!   [`explore_with_session`] extends the sharing across sweeps: a warm
+//!   session serves every previously-analysed structure from cache.
 //! * **Pruning** — before paying for a full evaluation (phase unfolding +
 //!   Petri screen), a candidate's admissible optimistic bound
 //!   ([`crate::eval::optimistic_bound`]) is tested against the
@@ -38,16 +42,15 @@
 //! memoization disabled produces the same fronts (asserted in
 //! `tests/driver_equivalence.rs`).
 
-use crate::eval::{
-    evaluate_structural, optimistic_bound, period_lower_bound_units, StructuralEval,
-};
+use crate::eval::{evaluate_structural, optimistic_bound, period_lower_bound_units};
 use crate::pareto::{pareto_front_indices, Objectives};
 use crate::space::{Config, DesignSpace, Hardware};
 use dfs_core::Dfs;
+use rap_session::{CompiledModel, Session};
 use rap_silicon::cost::CostModel;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Driver knobs.
 #[derive(Debug, Clone, Copy)]
@@ -56,7 +59,9 @@ pub struct DseConfig {
     pub threads: usize,
     /// State budget of the per-configuration Petri screen.
     pub check_budget: usize,
-    /// Serve isomorphic configurations from the memo table.
+    /// Serve identical configurations from the shared session's caches.
+    /// When `false` every task compiles into a private throw-away session
+    /// (the same code path, no sharing) — the front must not change.
     pub memoize: bool,
     /// Skip provably-dominated configurations.
     pub prune: bool,
@@ -90,7 +95,8 @@ pub struct Evaluation {
     pub check_truncated: bool,
     /// Whether the screen found a real violation (excluded from fronts).
     pub check_violated: bool,
-    /// Whether this evaluation was served from the memo table.
+    /// Whether this evaluation was served from the session cache (another
+    /// task had already analysed the same structure).
     pub memoized: bool,
 }
 
@@ -134,19 +140,15 @@ impl DseOutcome {
     }
 }
 
-type MemoKey = (u64, usize, usize, usize);
-/// A reservation-capable memo slot: empty until some worker's
-/// `get_or_init` completes; `None` inside records an errored evaluation.
-type MemoCell = Arc<OnceLock<Option<Arc<StructuralEval>>>>;
 type SiblingKey = (String, u64);
 
 struct Shared<'a> {
     space: &'a DesignSpace,
     cost: &'a CostModel,
     cfg: &'a DseConfig,
+    session: &'a Session,
     tasks: Vec<Config>,
     shards: Vec<Mutex<VecDeque<usize>>>,
-    memo: Vec<Mutex<HashMap<MemoKey, MemoCell>>>,
     /// Exact periods of evaluated reconfigurable points, for the
     /// depth-monotonicity bound: (hardware label, sizing bits) → [(depth,
     /// period)].
@@ -161,55 +163,7 @@ struct Shared<'a> {
     check_violations: AtomicUsize,
 }
 
-const MEMO_SHARDS: usize = 8;
-
 impl Shared<'_> {
-    fn memo_key(dfs: &Dfs) -> MemoKey {
-        (
-            dfs.structural_hash(),
-            dfs.node_count(),
-            dfs.edge_count(),
-            dfs.initial_token_count(),
-        )
-    }
-
-    /// The memo cell for `key`, creating an empty reservation if absent.
-    /// The cell is a `OnceLock`, so the *first* worker to call
-    /// `get_or_init` on it evaluates the structure and every concurrent
-    /// worker blocks on that one evaluation instead of duplicating it —
-    /// each distinct structure is fully evaluated at most once per sweep
-    /// regardless of thread count.
-    fn memo_cell(&self, key: &MemoKey) -> MemoCell {
-        Arc::clone(
-            self.memo[(key.0 as usize) % MEMO_SHARDS]
-                .lock()
-                .expect("memo shard")
-                .entry(*key)
-                .or_default(),
-        )
-    }
-
-    /// Evaluates one structure, updating the full-evaluation counters and
-    /// the sibling table; `None` when the evaluation errored.
-    fn full_evaluate(&self, config: &Config, dfs: &Dfs) -> Option<Arc<StructuralEval>> {
-        match evaluate_structural(dfs, self.cost, self.cfg.check_budget) {
-            Ok(eval) => {
-                self.full_evaluations.fetch_add(1, Ordering::Relaxed);
-                if eval.check_violated {
-                    self.check_violations.fetch_add(1, Ordering::Relaxed);
-                } else if eval.check_truncated {
-                    self.check_inconclusive.fetch_add(1, Ordering::Relaxed);
-                }
-                self.record_sibling(config, eval.period_units);
-                Some(Arc::new(eval))
-            }
-            Err(_) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
     /// The best available admissible period lower bound for `config`.
     ///
     /// Note on a bound deliberately *not* used: the direct (single-phase)
@@ -291,40 +245,17 @@ impl Shared<'_> {
                     continue;
                 }
             };
-            let key = Self::memo_key(&dfs);
-            let (eval, memoized) = if self.cfg.memoize {
-                let cell = self.memo_cell(&key);
-                let already_done = cell.get().is_some();
-                if !already_done {
-                    // not evaluated yet (though a twin may be in flight):
-                    // this task may still be pruned on its own merits
-                    if self.cfg.prune {
-                        let lb = self.period_lower_bound(&config, &dfs);
-                        let bound = optimistic_bound(&config, &dfs, self.cost, lb);
-                        if self.is_dominated(config.workload, &bound) {
-                            self.pruned.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        }
-                    }
-                }
-                let mut ran_here = false;
-                let slot = cell.get_or_init(|| {
-                    ran_here = true;
-                    self.full_evaluate(&config, &dfs)
-                });
-                if !ran_here {
-                    if slot.is_some() {
-                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        // twin of a structure whose evaluation errored
-                        self.errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                match slot {
-                    Some(eval) => (Arc::clone(eval), !ran_here),
-                    None => continue,
-                }
+            // with memoization, twins intern to one CompiledModel in the
+            // shared session; without, a private throw-away session keeps
+            // the code path identical but shares nothing
+            let model: Arc<CompiledModel> = if self.cfg.memoize {
+                self.session.compile(&dfs)
             } else {
+                Session::new().compile(&dfs)
+            };
+            if !model.analysed() {
+                // not analysed yet (though a twin may be in flight): this
+                // task may still be pruned on its own merits
                 if self.cfg.prune {
                     let lb = self.period_lower_bound(&config, &dfs);
                     let bound = optimistic_bound(&config, &dfs, self.cost, lb);
@@ -333,11 +264,39 @@ impl Shared<'_> {
                         continue;
                     }
                 }
-                match self.full_evaluate(&config, &dfs) {
-                    Some(eval) => (eval, false),
-                    None => continue,
+            }
+            // whoever wins the session's in-flight reservation for the
+            // throughput analysis is the task that paid for the structure:
+            // exact work accounting even under concurrent twins
+            let (detail, ran_here) = model.perf_detail_traced();
+            if detail.is_err() {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let eval = match evaluate_structural(&model, self.cost, self.cfg.check_budget) {
+                Ok(eval) => eval,
+                Err(_) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
                 }
             };
+            if ran_here {
+                self.full_evaluations.fetch_add(1, Ordering::Relaxed);
+                if eval.check_violated {
+                    self.check_violations.fetch_add(1, Ordering::Relaxed);
+                } else if eval.check_truncated {
+                    self.check_inconclusive.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            // record the sibling period on cache hits too: against a warm
+            // session nothing is freshly analysed, and without this the
+            // depth-monotonicity refinement of the pruning bound would be
+            // lost on re-sweeps (duplicates are harmless — the bound maxes
+            // over the list)
+            self.record_sibling(&config, eval.period_units);
+            let memoized = !ran_here;
             let objectives = eval.objectives(self.cost, config.voltage);
             if !eval.check_violated {
                 self.record_dominator(config.workload, objectives);
@@ -357,9 +316,26 @@ impl Shared<'_> {
 }
 
 /// Runs the sweep over `space` with the given cost model and driver
-/// configuration.
+/// configuration, in a fresh private session.
 #[must_use]
 pub fn explore(space: &DesignSpace, cost: &CostModel, cfg: &DseConfig) -> DseOutcome {
+    explore_with_session(space, cost, cfg, &Session::new())
+}
+
+/// [`explore`] through a caller-supplied [`Session`]: every artifact the
+/// sweep derives (Petri images, phase unfoldings, verification screens,
+/// cost summaries) is interned there and reused by later sweeps or other
+/// queries against the same session. Re-running a sweep against a warm
+/// session performs **zero** new structural analyses — only the Pareto
+/// assembly and (cheap) pruning bounds are recomputed — which is what the
+/// recorded `BENCH_dse.json` cold/warm split measures.
+#[must_use]
+pub fn explore_with_session(
+    space: &DesignSpace,
+    cost: &CostModel,
+    cfg: &DseConfig,
+    session: &Session,
+) -> DseOutcome {
     let tasks = space.enumerate();
     let enumerated = tasks.len();
     let threads = cfg.threads.max(1).min(tasks.len().max(1));
@@ -372,11 +348,9 @@ pub fn explore(space: &DesignSpace, cost: &CostModel, cfg: &DseConfig) -> DseOut
         space,
         cost,
         cfg,
+        session,
         tasks,
         shards,
-        memo: (0..MEMO_SHARDS)
-            .map(|_| Mutex::new(HashMap::new()))
-            .collect(),
         siblings: Mutex::new(HashMap::new()),
         dominators: Mutex::new(HashMap::new()),
         full_evaluations: AtomicUsize::new(0),

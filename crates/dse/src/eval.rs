@@ -9,12 +9,19 @@
 //! applied analytically — every latency scales by the same alpha-power
 //! factor, so `period(V) = period(V₀) · factor(V)` exactly — which is what
 //! makes memoizing structural evaluations across the voltage axis sound.
+//!
+//! Evaluation runs on a [`CompiledModel`] from `rap-session`: the
+//! throughput analysis, Petri translation, verification screen and cost
+//! summary are session queries, so a configuration evaluated for the
+//! sweep shares every artifact with any other caller of the same session
+//! — and twin configurations (same structure) share them with each other.
 
 use crate::pareto::Objectives;
 use crate::space::Config;
-use dfs_core::perf::{analyse_with_activity, Construction};
-use dfs_core::{to_petri, Dfs, DfsError};
-use rap_petri::analysis::{quick_check, QuickVerdict};
+use dfs_core::perf::Construction;
+use dfs_core::Dfs;
+use rap_petri::analysis::QuickVerdict;
+use rap_session::{CompiledModel, Error};
 use rap_silicon::cost::CostModel;
 
 /// Voltage-independent evaluation of one structural configuration.
@@ -57,30 +64,32 @@ impl StructuralEval {
     }
 }
 
-/// Evaluates a structural configuration exactly: throughput analysis with
-/// activity, cost-model area/switching, and the budgeted Petri screen.
+/// Evaluates a compiled configuration exactly: throughput analysis with
+/// activity, cost-model area/switching, and the budgeted Petri screen —
+/// all as (cached) session queries, so repeated or concurrent evaluation
+/// of the same structure performs each derivation exactly once.
 ///
 /// # Errors
 ///
-/// Propagates [`DfsError`] from the performance analysis (e.g. a
+/// Propagates the session [`Error`] of the performance analysis (e.g. a
 /// token-free cycle in a structurally dead candidate).
 pub fn evaluate_structural(
-    dfs: &Dfs,
+    model: &CompiledModel,
     cost: &CostModel,
     check_budget: usize,
-) -> Result<StructuralEval, DfsError> {
-    let detail = analyse_with_activity(dfs)?;
+) -> Result<StructuralEval, Error> {
+    let detail = model.perf_detail()?;
     let phases = match detail.report.construction {
         Construction::Direct => 1,
         Construction::PhaseUnfolded { phases } => phases,
     };
-    let img = to_petri(dfs);
-    let check = quick_check(&img.net, &img.complementary_pairs(), check_budget);
+    let check = model.quick_check(check_budget);
+    let summary = model.cost(cost)?;
     Ok(StructuralEval {
         period_units: detail.report.period,
         phases,
-        area: cost.area(dfs),
-        switched_ge: cost.switched_ge_per_item(dfs, &detail.activity_per_item),
+        area: summary.area,
+        switched_ge: summary.switched_ge_per_item,
         check_states: check.states,
         check_truncated: check.truncated,
         check_violated: check.deadlock_free == QuickVerdict::Violated
@@ -145,6 +154,11 @@ mod tests {
     use super::*;
     use crate::space::{DesignSpace, Hardware};
     use dfs_core::pipelines::StageDelays;
+    use rap_session::Session;
+
+    fn eval_direct(dfs: &Dfs, cost: &CostModel, budget: usize) -> Result<StructuralEval, Error> {
+        evaluate_structural(&Session::new().compile(dfs), cost, budget)
+    }
 
     fn ope_space() -> DesignSpace {
         DesignSpace {
@@ -175,7 +189,7 @@ mod tests {
         let cost = CostModel::default();
         for config in ope_space().enumerate() {
             let dfs = config.build().unwrap();
-            let eval = evaluate_structural(&dfs, &cost, 10_000).unwrap();
+            let eval = eval_direct(&dfs, &cost, 10_000).unwrap();
             let exact = eval.objectives(&cost, config.voltage);
             let period_lb = period_lower_bound_units(&config, &dfs);
             assert!(
@@ -205,12 +219,12 @@ mod tests {
         let config = ope_space().enumerate()[0];
         let dfs = config.build().unwrap();
         // generous budget: the screen is exhaustive and clean
-        let eval = evaluate_structural(&dfs, &cost, 2_000_000).unwrap();
+        let eval = eval_direct(&dfs, &cost, 2_000_000).unwrap();
         assert!(!eval.check_truncated);
         assert!(!eval.check_violated);
         assert!(eval.check_states > 0);
         // tiny budget: truncated, but still no violation claimed
-        let eval = evaluate_structural(&dfs, &cost, 5).unwrap();
+        let eval = eval_direct(&dfs, &cost, 5).unwrap();
         assert!(eval.check_truncated);
         assert!(!eval.check_violated);
     }
@@ -222,7 +236,7 @@ mod tests {
         let cost = CostModel::default();
         let config = ope_space().enumerate()[0];
         let dfs = config.build().unwrap();
-        let eval = evaluate_structural(&dfs, &cost, 50_000).unwrap();
+        let eval = eval_direct(&dfs, &cost, 50_000).unwrap();
         let at = |v: f64| eval.objectives(&cost, v);
         let (lo, hi) = (at(0.9), at(1.6));
         let f_lo = cost.delay.factor(0.9);

@@ -25,13 +25,15 @@
 //!
 //! # Guarantees
 //!
-//! **Memoization is exact.** Configurations are cached under the canonical
-//! `Dfs::structural_hash` (plus exact node/edge/token counts): two points
-//! that build isomorphic timing models — e.g. the same silicon at two
+//! **Memoization is exact.** Configurations compile into a shared
+//! `rap_session::Session`, which interns models by the canonical
+//! `Dfs::structural_hash` plus a byte-exact identity digest: two points
+//! that build identical timing models — e.g. the same silicon at two
 //! supply voltages, or non-reconfigurable hardware under two workload
-//! demands — share one evaluation, and voltage is applied analytically
-//! (`period(V) = period(V₀)·factor(V)` under the uniform alpha-power
-//! scaling).
+//! demands — share one `CompiledModel` and therefore one evaluation, and
+//! voltage is applied analytically (`period(V) = period(V₀)·factor(V)`
+//! under the uniform alpha-power scaling). Supplying an external session
+//! ([`explore_with_session`]) extends the sharing across sweeps.
 //!
 //! **Pruning is admissible: it never drops a true Pareto point.** A
 //! candidate is skipped only when an *optimistic* bound on its objectives
@@ -57,7 +59,7 @@ pub mod models;
 pub mod pareto;
 pub mod space;
 
-pub use driver::{explore, DseConfig, DseOutcome, Evaluation, SweepStats};
+pub use driver::{explore, explore_with_session, DseConfig, DseOutcome, Evaluation, SweepStats};
 pub use eval::{evaluate_structural, StructuralEval};
 pub use models::{wagged_ope, WaggedOpe};
 pub use pareto::{naive_front_indices, pareto_front_indices, Objectives};

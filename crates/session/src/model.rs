@@ -1,0 +1,406 @@
+//! [`CompiledModel`]: one interned DFS model with demand-computed, memoized
+//! derived artifacts.
+
+use crate::Error;
+use dfs_core::perf::{analyse_with_activity, PerfDetail, PerfReport};
+use dfs_core::timed::{measure_steady_period, ChoicePolicy, SteadyStatePeriod};
+use dfs_core::{to_petri, Dfs, Lts, NodeId, PetriImage};
+use rap_petri::analysis::{quick_check, QuickCheck};
+use rap_silicon::cost::CostModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A keyed cache slot. The `Arc` lets a query hold the slot outside the
+/// map lock while it computes; the `OnceLock` is the in-flight
+/// reservation — the first caller to reach `get_or_init` computes, every
+/// concurrent caller blocks on that one computation instead of
+/// duplicating it.
+type Slot<T> = Arc<OnceLock<T>>;
+type SlotMap<K, T> = Mutex<HashMap<K, Slot<T>>>;
+
+fn keyed_slot<K, T>(map: &SlotMap<K, T>, key: K) -> Slot<T>
+where
+    K: std::hash::Hash + Eq,
+{
+    Arc::clone(map.lock().expect("slot map").entry(key).or_default())
+}
+
+/// Runs `f` through `slot` exactly once; the returned flag is `true` iff
+/// *this* call performed the computation (it won the reservation).
+fn traced_once<T>(slot: &OnceLock<T>, f: impl FnOnce() -> T) -> (&T, bool) {
+    let mut ran = false;
+    let v = slot.get_or_init(|| {
+        ran = true;
+        f()
+    });
+    (v, ran)
+}
+
+/// Per-query-kind counters of one [`CompiledModel`] (also the aggregate
+/// shape of [`SessionStats::queries`](crate::SessionStats)).
+///
+/// For every query kind, `*_queries` counts calls and the second field
+/// counts actual computations; the difference is the number of calls
+/// served from cache. Because every computation runs under an in-flight
+/// reservation, each computation counter is bounded by the number of
+/// distinct cache keys of its query — `petri_translations` and
+/// `perf_analyses` can never exceed 1 per model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the documentation (pattern above)
+pub struct ModelStats {
+    pub petri_queries: u64,
+    pub petri_translations: u64,
+    pub perf_queries: u64,
+    pub perf_analyses: u64,
+    pub lts_queries: u64,
+    pub lts_explorations: u64,
+    pub check_queries: u64,
+    pub check_runs: u64,
+    pub cost_queries: u64,
+    pub cost_evaluations: u64,
+    pub steady_queries: u64,
+    pub steady_measurements: u64,
+}
+
+impl ModelStats {
+    /// Total queries of every kind.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.petri_queries
+            + self.perf_queries
+            + self.lts_queries
+            + self.check_queries
+            + self.cost_queries
+            + self.steady_queries
+    }
+
+    /// Total computations actually performed.
+    #[must_use]
+    pub fn computations(&self) -> u64 {
+        self.petri_translations
+            + self.perf_analyses
+            + self.lts_explorations
+            + self.check_runs
+            + self.cost_evaluations
+            + self.steady_measurements
+    }
+
+    /// Queries served from cache: [`queries`](Self::queries) −
+    /// [`computations`](Self::computations).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.queries() - self.computations()
+    }
+
+    pub(crate) fn add(&mut self, o: &ModelStats) {
+        self.petri_queries += o.petri_queries;
+        self.petri_translations += o.petri_translations;
+        self.perf_queries += o.perf_queries;
+        self.perf_analyses += o.perf_analyses;
+        self.lts_queries += o.lts_queries;
+        self.lts_explorations += o.lts_explorations;
+        self.check_queries += o.check_queries;
+        self.check_runs += o.check_runs;
+        self.cost_queries += o.cost_queries;
+        self.cost_evaluations += o.cost_evaluations;
+        self.steady_queries += o.steady_queries;
+        self.steady_measurements += o.steady_measurements;
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    petri_queries: AtomicU64,
+    petri_translations: AtomicU64,
+    perf_queries: AtomicU64,
+    perf_analyses: AtomicU64,
+    lts_queries: AtomicU64,
+    lts_explorations: AtomicU64,
+    check_queries: AtomicU64,
+    check_runs: AtomicU64,
+    cost_queries: AtomicU64,
+    cost_evaluations: AtomicU64,
+    steady_queries: AtomicU64,
+    steady_measurements: AtomicU64,
+}
+
+impl Counters {
+    fn bump(query: &AtomicU64, compute: &AtomicU64, ran: bool) {
+        query.fetch_add(1, Ordering::Relaxed);
+        if ran {
+            compute.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> ModelStats {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ModelStats {
+            petri_queries: g(&self.petri_queries),
+            petri_translations: g(&self.petri_translations),
+            perf_queries: g(&self.perf_queries),
+            perf_analyses: g(&self.perf_analyses),
+            lts_queries: g(&self.lts_queries),
+            lts_explorations: g(&self.lts_explorations),
+            check_queries: g(&self.check_queries),
+            check_runs: g(&self.check_runs),
+            cost_queries: g(&self.cost_queries),
+            cost_evaluations: g(&self.cost_evaluations),
+            steady_queries: g(&self.steady_queries),
+            steady_measurements: g(&self.steady_measurements),
+        }
+    }
+}
+
+/// The silicon-cost summary of a model under one [`CostModel`]: the two
+/// voltage-independent quantities every energy/area objective builds on.
+/// Bit-identical to calling [`CostModel::area`] and
+/// [`CostModel::switched_ge_per_item`] (with the exact activity from
+/// [`analyse_with_activity`]) directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSummary {
+    /// Total gate-equivalent area (excluded stages included: silicon is
+    /// committed at tape-out).
+    pub area: f64,
+    /// Gate equivalents switched per item, weighted by the exact per-node
+    /// steady-state activity.
+    pub switched_ge_per_item: f64,
+}
+
+impl CostSummary {
+    /// Energy per item at supply `v` under `cost` — delegates to the
+    /// single [`CostModel::energy_from_parts`] formula.
+    #[must_use]
+    pub fn energy_per_item(&self, cost: &CostModel, period_units: f64, v: f64) -> f64 {
+        self.switching_and_leakage(cost, cost.period_seconds(period_units, v), v)
+    }
+
+    fn switching_and_leakage(&self, cost: &CostModel, period_s: f64, v: f64) -> f64 {
+        cost.energy_from_parts(self.switched_ge_per_item, self.area, period_s, v)
+    }
+}
+
+/// A compiled (interned) DFS model: an immutable [`Dfs`] plus a cache of
+/// every derived artifact, each computed on first demand and shared by all
+/// later queries — from any thread.
+///
+/// Obtained from [`Session::compile`](crate::Session::compile); see the
+/// [crate docs](crate) for the caching and coherence contract. All queries
+/// take `&self`: a compiled model is never mutated, and the underlying
+/// [`Dfs`] is immutable by construction — to analyse a modified model,
+/// build the new [`Dfs`] and compile it (**mutation = recompile**).
+pub struct CompiledModel {
+    dfs: Dfs,
+    structural_hash: u64,
+    petri: OnceLock<PetriImage>,
+    perf: OnceLock<Result<PerfDetail, Error>>,
+    lts: SlotMap<usize, Result<Arc<Lts>, Error>>,
+    checks: SlotMap<usize, Arc<QuickCheck>>,
+    costs: SlotMap<u64, Result<CostSummary, Error>>,
+    steady: SlotMap<(NodeId, u64), Result<SteadyStatePeriod, Error>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for CompiledModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledModel")
+            .field("nodes", &self.dfs.node_count())
+            .field("edges", &self.dfs.edge_count())
+            .field(
+                "structural_hash",
+                &format_args!("{:#018x}", self.structural_hash),
+            )
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledModel {
+    pub(crate) fn new(dfs: Dfs, structural_hash: u64) -> Self {
+        CompiledModel {
+            dfs,
+            structural_hash,
+            petri: OnceLock::new(),
+            perf: OnceLock::new(),
+            lts: Mutex::new(HashMap::new()),
+            checks: Mutex::new(HashMap::new()),
+            costs: Mutex::new(HashMap::new()),
+            steady: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The compiled model itself.
+    #[must_use]
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The canonical structural hash the model was interned under
+    /// (see [`Dfs::structural_hash`]).
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        self.structural_hash
+    }
+
+    /// Per-model query/computation counters.
+    #[must_use]
+    pub fn stats(&self) -> ModelStats {
+        self.counters.snapshot()
+    }
+
+    /// The Petri-net image (Fig. 3 translation) — computed once, equal to
+    /// [`to_petri()`]`(self.dfs())`.
+    pub fn petri(&self) -> &PetriImage {
+        let (img, ran) = traced_once(&self.petri, || to_petri(&self.dfs));
+        Counters::bump(
+            &self.counters.petri_queries,
+            &self.counters.petri_translations,
+            ran,
+        );
+        img
+    }
+
+    /// The exact throughput analysis with per-node activity — computed
+    /// once, equal to [`analyse_with_activity`]`(self.dfs())`. For models
+    /// with dynamic registers this is the single phase unfolding every
+    /// perf/cost query shares.
+    ///
+    /// # Errors
+    ///
+    /// The cached [`DfsError`](dfs_core::DfsError) of the analysis (e.g. a
+    /// token-free cycle); errors are cached like results, so a failing
+    /// model is analysed once, not once per query.
+    pub fn perf_detail(&self) -> Result<&PerfDetail, Error> {
+        self.perf_detail_traced().0
+    }
+
+    /// [`perf_detail`](Self::perf_detail), also reporting whether *this*
+    /// call performed the analysis (`true`) or was served from the cache /
+    /// blocked on a concurrent twin's in-flight computation (`false`).
+    /// Sweep drivers use this for exact work accounting.
+    pub fn perf_detail_traced(&self) -> (Result<&PerfDetail, Error>, bool) {
+        let (res, ran) = traced_once(&self.perf, || {
+            analyse_with_activity(&self.dfs).map_err(Error::from)
+        });
+        Counters::bump(
+            &self.counters.perf_queries,
+            &self.counters.perf_analyses,
+            ran,
+        );
+        (res.as_ref().map_err(Clone::clone), ran)
+    }
+
+    /// The throughput report — the `report` half of
+    /// [`perf_detail`](Self::perf_detail), equal to
+    /// [`dfs_core::perf::analyse`]`(self.dfs())`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`perf_detail`](Self::perf_detail).
+    pub fn perf(&self) -> Result<&PerfReport, Error> {
+        self.perf_detail().map(|d| &d.report)
+    }
+
+    /// Whether the throughput analysis has already completed (either way);
+    /// `false` while a concurrent computation is still in flight.
+    #[must_use]
+    pub fn analysed(&self) -> bool {
+        self.perf.get().is_some()
+    }
+
+    /// The reachable LTS of the direct semantics under `budget` —
+    /// computed once per distinct budget, equal to
+    /// [`Lts::explore`]`(self.dfs(), budget)`.
+    ///
+    /// # Errors
+    ///
+    /// The cached [`DfsError::StateBudgetExceeded`](dfs_core::DfsError)
+    /// when the state space exceeds `budget`.
+    pub fn lts(&self, budget: usize) -> Result<Arc<Lts>, Error> {
+        let slot = keyed_slot(&self.lts, budget);
+        let (res, ran) = traced_once(&slot, || {
+            Lts::explore(&self.dfs, budget)
+                .map(Arc::new)
+                .map_err(Error::from)
+        });
+        Counters::bump(
+            &self.counters.lts_queries,
+            &self.counters.lts_explorations,
+            ran,
+        );
+        res.clone()
+    }
+
+    /// The budgeted deadlock/1-safety screen over the Petri image —
+    /// computed once per distinct budget, equal to
+    /// [`quick_check`]`(&img.net, &img.complementary_pairs(), budget)`.
+    /// Demands [`petri`](Self::petri), so the translation is still
+    /// performed at most once per model.
+    #[must_use]
+    pub fn quick_check(&self, budget: usize) -> Arc<QuickCheck> {
+        let slot = keyed_slot(&self.checks, budget);
+        let (check, ran) = traced_once(&slot, || {
+            let img = self.petri();
+            Arc::new(quick_check(&img.net, &img.complementary_pairs(), budget))
+        });
+        Counters::bump(&self.counters.check_queries, &self.counters.check_runs, ran);
+        Arc::clone(check)
+    }
+
+    /// Area and switched-GE of the model under `cost` — computed once per
+    /// distinct cost model (keyed by [`CostModel::cache_key`]). Demands
+    /// [`perf_detail`](Self::perf_detail) for the exact activity, so the
+    /// phase unfolding is still performed at most once per model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the cached error of the throughput analysis.
+    pub fn cost(&self, cost: &CostModel) -> Result<CostSummary, Error> {
+        let slot = keyed_slot(&self.costs, cost.cache_key());
+        let (res, ran) = traced_once(&slot, || {
+            let detail = self.perf_detail()?;
+            Ok(CostSummary {
+                area: cost.area(&self.dfs),
+                switched_ge_per_item: cost
+                    .switched_ge_per_item(&self.dfs, &detail.activity_per_item),
+            })
+        });
+        Counters::bump(
+            &self.counters.cost_queries,
+            &self.counters.cost_evaluations,
+            ran,
+        );
+        res.clone()
+    }
+
+    /// The timed simulator's exact steady-state recurrence at `output`
+    /// under the `AlwaysTrue` choice policy (the policy the analysis is
+    /// certified against) — computed once per distinct `(output,
+    /// max_marks)`, equal to
+    /// [`measure_steady_period`]`(self.dfs(), output, max_marks,
+    /// ChoicePolicy::AlwaysTrue)`.
+    ///
+    /// # Errors
+    ///
+    /// The cached simulation error
+    /// ([`SimulationStalled`](dfs_core::DfsError::SimulationStalled) /
+    /// [`NoSteadyState`](dfs_core::DfsError::NoSteadyState)).
+    pub fn steady_period(
+        &self,
+        output: NodeId,
+        max_marks: u64,
+    ) -> Result<SteadyStatePeriod, Error> {
+        let slot = keyed_slot(&self.steady, (output, max_marks));
+        let (res, ran) = traced_once(&slot, || {
+            measure_steady_period(&self.dfs, output, max_marks, ChoicePolicy::AlwaysTrue)
+                .map_err(Error::from)
+        });
+        Counters::bump(
+            &self.counters.steady_queries,
+            &self.counters.steady_measurements,
+            ran,
+        );
+        res.clone()
+    }
+}

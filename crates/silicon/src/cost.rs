@@ -91,6 +91,40 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// A digest of every parameter of the model, for caches that key
+    /// results by cost-model identity (e.g. `rap-session`'s `cost` query).
+    /// Two models with bit-equal fields always get equal keys; unequal
+    /// models collide only with SplitMix64 probability (~2⁻⁶⁴), and a
+    /// collision would merely serve a cached summary computed under the
+    /// colliding parameters — never corrupt state.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        use dfs_core::hash::mix64 as mix;
+        let fields = [
+            self.gates.register_ge,
+            self.gates.control_ge,
+            self.gates.dynamic_ge,
+            self.gates.logic_base_ge,
+            self.gates.reference_delay,
+            self.gates.max_drive,
+            self.gates.switch_fraction,
+            self.energy.v0,
+            self.energy.e_switch0,
+            self.energy.p_leak0,
+            self.energy.vk,
+            self.delay.v0,
+            self.delay.vt,
+            self.delay.alpha,
+            self.delay.v_freeze,
+            self.time_unit_s,
+        ];
+        let mut h = mix(0xc057);
+        for v in fields {
+            h = mix(h ^ mix(v.to_bits()));
+        }
+        h
+    }
+
     /// Gate-equivalent area of one node.
     #[must_use]
     pub fn node_area(&self, node: &Node) -> f64 {

@@ -1,15 +1,18 @@
 //! Which 6-stage OPE pipeline should I build for a 0.9 V supply?
 //!
 //! Declares a design space (hardware family × datapath sizing, pinned to
-//! 0.9 V and the paper's depth-4 workload), explores it, prints the exact
-//! Pareto front over (throughput, energy/item, area) and picks the
-//! lowest-energy-delay point. Run with `cargo run --example dse_best_config`.
+//! 0.9 V and the paper's depth-4 workload), explores it through a shared
+//! [`rap::Session`], prints the exact Pareto front over (throughput,
+//! energy/item, area) and picks the lowest-energy-delay point — then asks
+//! the warm session one more question about the winner for free.
+//! Run with `cargo run --example dse_best_config`.
 
-use rap::dse::{explore, DesignSpace, DseConfig, Hardware};
+use rap::dse::{explore_with_session, DesignSpace, DseConfig, Hardware};
 use rap::ope::dfs_model::ope_stage_delays;
 use rap::silicon::cost::CostModel;
+use rap::Session;
 
-fn main() {
+fn main() -> Result<(), rap::Error> {
     let space = DesignSpace {
         hardware: vec![
             Hardware::Static { stages: 6 },
@@ -25,7 +28,13 @@ fn main() {
         delays: ope_stage_delays(),
     };
 
-    let outcome = explore(&space, &CostModel::default(), &DseConfig::default());
+    let session = Session::new();
+    let outcome = explore_with_session(
+        &space,
+        &CostModel::default(),
+        &DseConfig::default(),
+        &session,
+    );
     let front = outcome.front(4);
     println!(
         "Pareto front at 0.9 V, window demand 4 ({} of {} configurations):",
@@ -62,4 +71,23 @@ fn main() {
             "clean"
         }
     );
+
+    // the sweep left its artifacts in the session: re-asking about the
+    // winner (here: its critical cycle) is a pure cache hit
+    let winner = session.compile(&best.config.build()?);
+    let perf = winner.perf()?;
+    println!(
+        "  bottleneck `{}` on cycle: {}",
+        perf.critical.bottleneck,
+        perf.critical.nodes.join(" -> ")
+    );
+    let stats = session.stats();
+    println!(
+        "\nsession: {} distinct structures analysed for {} configurations \
+         ({} cache hits across all queries)",
+        stats.queries.perf_analyses,
+        outcome.stats.enumerated,
+        stats.queries.cache_hits()
+    );
+    Ok(())
 }

@@ -1,13 +1,17 @@
 //! Ordinal pattern encoding with the chip model: normal-mode streaming,
 //! window-size reconfiguration, and the random-mode checksum flow used for
-//! testbench-free measurements.
+//! testbench-free measurements — plus the session-compiled DFS models of
+//! the same reconfigurations, showing what each window size costs in
+//! pipeline throughput.
 //!
 //! Run with `cargo run --example ope_encoder`.
 
 use rap::ope::chip::{behavioural_checksum, Chip, ChipConfig, Mode};
+use rap::ope::dfs_model::reconfigurable_ope_dfs;
 use rap::ope::reference::windows_ranked;
+use rap::Session;
 
-fn main() {
+fn main() -> Result<(), rap::Error> {
     // the §III-A example stream
     let stream: Vec<u16> = vec![3, 1, 4, 1, 5, 9, 2, 6];
     println!("stream: {stream:?}\n");
@@ -19,13 +23,27 @@ fn main() {
     }
 
     // "Users of OPE engines often try multiple window sizes N (via
-    // reconfiguration) to discover hidden patterns" — §III-A
-    println!("\nnewest-item ranks at different window sizes (reconfiguration):");
+    // reconfiguration) to discover hidden patterns" — §III-A. Each window
+    // size is one operating depth of the same reconfigurable pipeline;
+    // the session caches one throughput analysis per depth, so asking
+    // again (or asking for energy next) costs nothing.
+    let session = Session::new();
+    println!("\nnewest-item ranks and exact pipeline period per window size:");
     for depth in [3usize, 4, 6] {
         let mut chip = Chip::new(ChipConfig::Reconfigurable { depth });
         let out = chip.run_normal(&stream);
-        println!("  N = {depth}: {out:?}");
+        let model = session.compile(&reconfigurable_ope_dfs(6, depth)?.dfs);
+        let perf = model.perf()?;
+        println!(
+            "  N = {depth}: {out:?}  (period {} time units, throughput {:.4})",
+            perf.period, perf.throughput
+        );
     }
+    let stats = session.stats();
+    println!(
+        "  ({} models compiled, {} throughput analyses performed)",
+        stats.models, stats.queries.perf_analyses
+    );
 
     // random mode: LFSR -> pipeline -> accumulator, one checksum out
     let seed = 0xD00D_FEED;
@@ -38,4 +56,5 @@ fn main() {
     println!("  behavioural model: 0x{golden:016X}");
     assert_eq!(checksum, golden, "validation flow of §IV");
     println!("  validated ✓");
+    Ok(())
 }

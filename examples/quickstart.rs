@@ -1,14 +1,15 @@
-//! Quickstart: model the paper's motivating example (Fig. 1b), verify it,
-//! inspect its Petri-net semantics and measure its throughput.
+//! Quickstart: model the paper's motivating example (Fig. 1b), compile it
+//! into a session, and answer every question — verification, Petri-net
+//! structure, reachability, throughput — as queries on the compiled model.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use rap::dfs::examples::conditional_dfs;
 use rap::dfs::timed::{measure_throughput, ChoicePolicy};
 use rap::dfs::verify::{verify, VerifyConfig};
-use rap::dfs::{to_petri, Lts};
+use rap::Session;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), rap::Error> {
     // 1. Build the Fig. 1b model: a cheap predicate `cond` fills a control
     //    register that guards the expensive `comp` pipeline between a push
     //    (`filt`) and a pop (`out`). False tokens bypass comp entirely.
@@ -19,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.dfs.edge_count()
     );
 
-    // 2. Formal verification through the Petri-net backend: deadlock
+    // 2. Compile once; every later query hits this compiled model's cache.
+    let session = Session::new();
+    let compiled = session.compile(&model.dfs);
+
+    // 3. Formal verification through the Petri-net backend: deadlock
     //    freedom, no control mismatches, no hazards.
     let report = verify(&model.dfs, &VerifyConfig::default())?;
     println!(
@@ -28,23 +33,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.is_clean()
     );
 
-    // 3. The Fig. 3/4 translation, for the curious.
-    let img = to_petri(&model.dfs);
+    // 4. The Fig. 3/4 translation, for the curious — a session query.
+    let img = compiled.petri();
     println!(
         "petri-net image: {} places, {} transitions",
         img.net.place_count(),
         img.net.transition_count()
     );
 
-    // 4. Both behaviours are reachable: bypass (comp untouched) and
-    //    compute-through.
-    let lts = Lts::explore(&model.dfs, 1_000_000)?;
+    // 5. Both behaviours are reachable: bypass (comp untouched) and
+    //    compute-through. The LTS is another query, cached per budget.
+    let lts = compiled.lts(1_000_000)?;
     let bypass = lts.find_state(|s| {
         s.is_false_marked(model.output) && model.comp_regs.iter().all(|&r| !s.is_marked(r))
     });
     println!("bypass behaviour reachable: {}", bypass.is_some());
 
-    // 5. Throughput under different predicate hit-rates.
+    // 6. The budgeted deadlock/1-safety screen reuses the cached Petri
+    //    image from step 4 — no second translation.
+    println!(
+        "quick check (100k-state budget): clean = {}",
+        compiled.quick_check(100_000).is_clean()
+    );
+
+    // 7. Throughput under different predicate hit-rates (policy-dependent
+    //    simulation stays a free function: it is not a pure model query).
     for (label, policy) in [
         ("always compute", ChoicePolicy::AlwaysTrue),
         ("always bypass ", ChoicePolicy::AlwaysFalse),
@@ -59,5 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let thr = measure_throughput(&model.dfs, model.output, 10, 100, policy)?;
         println!("throughput ({label}): {thr:.4} tokens/time-unit");
     }
+
+    let stats = session.stats();
+    println!(
+        "session: {} model(s), {} queries, {} cache hit(s), {} Petri translation(s)",
+        stats.models,
+        stats.queries.queries(),
+        stats.queries.cache_hits(),
+        stats.queries.petri_translations
+    );
     Ok(())
 }

@@ -16,8 +16,9 @@ use rap::ope::{ChipTimingModel, PipelineKind, SyncStyle};
 use rap::silicon::map::{map_dfs, MapConfig};
 use rap::silicon::sim::{SimConfig, Simulator};
 use rap::silicon::VoltageProfile;
+use rap::Session;
 
-fn main() {
+fn main() -> Result<(), rap::Error> {
     // --- gate level -----------------------------------------------------
     let mut b = DfsBuilder::new();
     let r0 = b.register("r0").marked().build();
@@ -26,10 +27,19 @@ fn main() {
     b.connect(r0, r1);
     b.connect(r1, r2);
     b.connect(r2, r0);
-    let dfs = b.finish().unwrap();
+    let dfs = b.finish()?;
+    // sanity-screen the model before spending gate-level simulation on it
+    // (DfsError and MapError both funnel into the one rap::Error)
+    let session = Session::new();
+    let model = session.compile(&dfs);
+    assert!(model.quick_check(10_000).is_clean());
+    println!(
+        "model screen: clean; exact ring period {} time units\n",
+        model.perf()?.period
+    );
     let mut cfg = MapConfig::with_width(8);
     cfg.initial_values.insert("r0".into(), 0xA5);
-    let mapped = map_dfs(&dfs, &cfg).unwrap();
+    let mapped = map_dfs(&dfs, &cfg)?;
 
     // supply: nominal, then a dip below freeze from 1 µs to 3 µs
     let profile = VoltageProfile::Steps(vec![(0.0, 1.2), (1e-6, 0.30), (3e-6, 1.2)]);
@@ -92,4 +102,5 @@ fn main() {
     );
     assert!(finished.expect("completes") > 45.0);
     println!("  computation completed only after the supply recovered ✓");
+    Ok(())
 }
