@@ -1,12 +1,13 @@
-//! PERF — old-vs-new state-space exploration across pipeline shapes.
+//! PERF — state-space exploration across pipeline shapes and thread counts.
 //!
-//! Times the retained naive explorers (the seed implementations) against
-//! the shared incremental engine (`rap_petri::engine`) on both backends —
-//! Petri-net reachability and the direct-semantics LTS — over
-//! `reconfigurable_depth(n,k)` pipelines and wagged pipelines, printing a
-//! table and persisting the measurements to `BENCH_state_space.json` at the
-//! repository root (the recorded perf trajectory of the verification hot
-//! path).
+//! Times the retained naive explorers (the seed implementations), the
+//! serial incremental engine, and the parallel engine across a threads
+//! axis, on both backends — Petri-net reachability and the direct-semantics
+//! LTS — over `reconfigurable_depth(n,k)` pipelines and wagged pipelines.
+//! Wagged shapes additionally record the symmetry-quotient state count.
+//! Prints a table and persists the measurements to
+//! `BENCH_state_space.json` (schema v2) at the repository root (the
+//! recorded perf trajectory of the verification hot path).
 //!
 //! Usage: `state_space_scaling [--quick] [--out PATH]`
 //!
@@ -15,7 +16,7 @@
 //! schema-validated before the process exits.
 
 use rap_bench::cli::BenchCli;
-use rap_bench::state_space::{render_json, run_sweep, validate};
+use rap_bench::state_space::{render_json, run_sweep, validate, THREADS};
 use rap_bench::{banner, num, row};
 
 fn main() {
@@ -24,13 +25,18 @@ fn main() {
     let out = cli.out_path();
 
     banner(if quick {
-        "State-space scaling (quick sweep): naive explorer vs incremental engine"
+        "State-space scaling (quick sweep): naive vs serial vs parallel engine"
     } else {
-        "State-space scaling: naive explorer vs incremental engine"
+        "State-space scaling: naive vs serial vs parallel engine"
     });
     let cases = run_sweep(quick);
 
-    let widths = [27usize, 6, 9, 11, 11, 8];
+    let widths = [27usize, 6, 9, 11, 11, 8, 20, 10];
+    let thread_header = THREADS
+        .iter()
+        .map(|t| format!("t{t}"))
+        .collect::<Vec<_>>()
+        .join("/");
     println!(
         "{}",
         row(
@@ -41,11 +47,23 @@ fn main() {
                 "naive[ms]".into(),
                 "engine[ms]".into(),
                 "speedup".into(),
+                format!("{thread_header}[ms]"),
+                "quotient".into(),
             ],
             &widths
         )
     );
     for c in &cases {
+        let threads = c
+            .threads
+            .iter()
+            .map(|t| num(t.ms, 1))
+            .collect::<Vec<_>>()
+            .join("/");
+        let quotient = match c.quotient_states {
+            Some(q) => format!("{q}"),
+            None => "-".into(),
+        };
         println!(
             "{}",
             row(
@@ -56,6 +74,8 @@ fn main() {
                     num(c.naive_ms, 2),
                     num(c.engine_ms, 2),
                     format!("{}x", num(c.speedup(), 2)),
+                    threads,
+                    quotient,
                 ],
                 &widths
             )
@@ -72,10 +92,12 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "\n{} cases, min speedup {}x, geomean {}x — written to {}",
+        "\n{} cases, min speedup {}x, geomean {}x, max thread speedup {}x, max quotient reduction {}x — written to {}",
         summary.cases,
         num(summary.min_speedup, 2),
         num(summary.geomean_speedup, 2),
+        num(summary.max_thread_speedup, 2),
+        num(summary.max_quotient_reduction, 2),
         out.display()
     );
 }

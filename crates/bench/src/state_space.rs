@@ -1,28 +1,49 @@
-//! The `state_space_scaling` sweep: old-vs-new explorer timings over the
-//! paper's pipeline shapes, persisted as `BENCH_state_space.json`.
+//! The `state_space_scaling` sweep: explorer timings over the paper's
+//! pipeline shapes, persisted as `BENCH_state_space.json` (schema v2).
 //!
 //! The sweep drives both state-space backends — Petri-net reachability and
 //! the direct-semantics LTS — over `PipelineSpec::reconfigurable_depth`
-//! instances and wagged pipelines, timing the retained naive explorers
-//! (`explore_naive_truncated`, `Lts::explore_naive_truncated`, the seed
-//! implementations) against the shared incremental engine, and asserting on
-//! every case that the two agree on state count and truncation. The emitted
-//! JSON is this repo's recorded perf trajectory; its schema is validated by
-//! [`validate`], which both the binary and the smoke tests run.
+//! instances and wagged pipelines. Per case it times:
+//!
+//! * the retained naive explorer (`explore_naive_truncated`,
+//!   `Lts::explore_naive_truncated` — the seed implementations);
+//! * the serial incremental engine (the PR-2 reference);
+//! * the parallel engine across a **threads axis**, asserting on every
+//!   sample that state count and truncation are thread-count-invariant;
+//! * for wagged shapes, the symmetry **quotient** (one state per way-rotation
+//!   orbit), recording the reduced state count — the `quotient_states` axis.
+//!
+//! The emitted JSON is this repo's recorded perf trajectory; its schema is
+//! validated by [`validate`], which both the binary and the smoke tests run.
 
 use crate::json::{escape, Json};
 use dfs_core::pipelines::{build_pipeline, PipelineSpec};
-use dfs_core::to_petri;
 use dfs_core::wagging::wagged_pipeline;
-use dfs_core::{Dfs, Lts};
-use rap_petri::reachability::{explore_naive_truncated, explore_truncated, ExploreConfig};
+use dfs_core::{node_rotation_symmetry, to_petri, Dfs, Lts};
+use rap_petri::engine::EngineConfig;
+use rap_petri::reachability::{
+    explore_naive_truncated, explore_quotient_truncated, explore_serial_truncated,
+    explore_truncated, ExploreConfig,
+};
 use std::time::Instant;
 
 /// Schema tag embedded in (and required from) the emitted JSON.
-pub const SCHEMA: &str = "rap/state-space-scaling/v1";
+pub const SCHEMA: &str = "rap/state-space-scaling/v2";
 
 /// State budget for every sweep case (none of the swept shapes truncate).
-pub const MAX_STATES: usize = 4_000_000;
+pub const MAX_STATES: usize = 16_000_000;
+
+/// The threads axis swept by every case.
+pub const THREADS: &[usize] = &[1, 2, 4];
+
+/// One point of a case's threads axis.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadSample {
+    /// Worker threads of the parallel engine.
+    pub threads: usize,
+    /// Best-of-N wall-clock, milliseconds.
+    pub ms: f64,
+}
 
 /// One measured sweep case.
 #[derive(Debug, Clone)]
@@ -31,21 +52,46 @@ pub struct Case {
     pub name: String,
     /// `"petri"` (PN reachability) or `"lts"` (direct semantics).
     pub backend: &'static str,
-    /// States discovered (identical for both explorers by construction).
+    /// States discovered (identical for every explorer by construction).
     pub states: usize,
     /// Whether the budget truncated exploration.
     pub truncated: bool,
     /// Best-of-N wall-clock of the naive (seed) explorer, milliseconds.
     pub naive_ms: f64,
-    /// Best-of-N wall-clock of the incremental engine, milliseconds.
+    /// Best-of-N wall-clock of the serial incremental engine, milliseconds.
     pub engine_ms: f64,
+    /// Parallel engine across the threads axis (count/truncation asserted
+    /// identical to the serial engine at every point).
+    pub threads: Vec<ThreadSample>,
+    /// Orbit representatives of the symmetry quotient (wagged shapes only).
+    pub quotient_states: Option<usize>,
+    /// Best-of-N wall-clock of the quotient exploration, milliseconds.
+    pub quotient_ms: Option<f64>,
 }
 
 impl Case {
-    /// Naive-over-engine wall-clock ratio.
+    /// Naive-over-serial-engine wall-clock ratio.
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.naive_ms / self.engine_ms
+    }
+
+    /// Wall-clock ratio of the threads=1 sample over the max-threads sample
+    /// (> 1 means parallel exploration pays off; on a single-core host it
+    /// hovers near 1).
+    #[must_use]
+    pub fn thread_speedup(&self) -> f64 {
+        match (self.threads.first(), self.threads.last()) {
+            (Some(t1), Some(tn)) if tn.ms > 0.0 => t1.ms / tn.ms,
+            _ => 1.0,
+        }
+    }
+
+    /// Full-over-quotient state-count ratio (≈ the symmetry group order).
+    #[must_use]
+    pub fn quotient_reduction(&self) -> Option<f64> {
+        self.quotient_states
+            .map(|q| self.states as f64 / q.max(1) as f64)
     }
 }
 
@@ -61,43 +107,100 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
     (last.expect("reps >= 1"), best)
 }
 
-fn petri_case(name: &str, dfs: &Dfs, reps: usize) -> Case {
-    let img = to_petri(dfs);
-    let cfg = ExploreConfig {
+fn cfg(threads: usize) -> ExploreConfig {
+    ExploreConfig {
         max_states: MAX_STATES,
-    };
-    let (naive, naive_ms) = best_of(reps, || explore_naive_truncated(&img.net, cfg));
-    let (engine, engine_ms) = best_of(reps, || explore_truncated(&img.net, cfg));
-    assert_eq!(
-        (naive.len(), naive.is_truncated()),
-        (engine.len(), engine.is_truncated()),
-        "{name}: engine disagrees with the naive explorer"
-    );
-    Case {
-        name: name.to_string(),
-        backend: "petri",
-        states: engine.len(),
-        truncated: engine.is_truncated(),
-        naive_ms,
-        engine_ms,
+        threads,
     }
 }
 
-fn lts_case(name: &str, dfs: &Dfs, reps: usize) -> Case {
-    let (naive, naive_ms) = best_of(reps, || Lts::explore_naive_truncated(dfs, MAX_STATES));
-    let (engine, engine_ms) = best_of(reps, || Lts::explore_truncated(dfs, MAX_STATES));
+fn petri_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) -> Case {
+    let img = to_petri(dfs);
+    let (naive, naive_ms) = best_of(reps, || explore_naive_truncated(&img.net, cfg(1)));
+    let (serial, engine_ms) = best_of(reps, || explore_serial_truncated(&img.net, cfg(1)));
     assert_eq!(
         (naive.len(), naive.is_truncated()),
-        (engine.len(), engine.is_truncated()),
-        "{name}: engine disagrees with the naive explorer"
+        (serial.len(), serial.is_truncated()),
+        "{name}: serial engine disagrees with the naive explorer"
     );
+    let mut threads = Vec::new();
+    for &t in THREADS {
+        let (par, ms) = best_of(reps, || explore_truncated(&img.net, cfg(t)));
+        assert_eq!(
+            (par.len(), par.is_truncated()),
+            (serial.len(), serial.is_truncated()),
+            "{name}: parallel engine at {t} threads is not thread-count-invariant"
+        );
+        threads.push(ThreadSample { threads: t, ms });
+    }
+    let (quotient_states, quotient_ms) = match way_rotation {
+        Some(perm) => {
+            let sym = img
+                .induced_symmetry(perm)
+                .expect("way rotation induces a net automorphism")
+                .state_symmetry();
+            let (quo, ms) = best_of(reps, || explore_quotient_truncated(&img.net, cfg(1), &sym));
+            assert!(!quo.is_truncated(), "{name}: quotient truncated");
+            (Some(quo.len()), Some(ms))
+        }
+        None => (None, None),
+    };
+    Case {
+        name: name.to_string(),
+        backend: "petri",
+        states: serial.len(),
+        truncated: serial.is_truncated(),
+        naive_ms,
+        engine_ms,
+        threads,
+        quotient_states,
+        quotient_ms,
+    }
+}
+
+fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) -> Case {
+    let (naive, naive_ms) = best_of(reps, || Lts::explore_naive_truncated(dfs, MAX_STATES));
+    let (serial, engine_ms) = best_of(reps, || Lts::explore_serial_truncated(dfs, MAX_STATES));
+    assert_eq!(
+        (naive.len(), naive.is_truncated()),
+        (serial.len(), serial.is_truncated()),
+        "{name}: serial engine disagrees with the naive explorer"
+    );
+    let ecfg = |t: usize| EngineConfig {
+        max_states: MAX_STATES,
+        threads: t,
+        anchor_interval: 0,
+    };
+    let mut threads = Vec::new();
+    for &t in THREADS {
+        let (par, ms) = best_of(reps, || Lts::explore_with(dfs, &ecfg(t), None));
+        assert_eq!(
+            (par.len(), par.is_truncated()),
+            (serial.len(), serial.is_truncated()),
+            "{name}: parallel engine at {t} threads is not thread-count-invariant"
+        );
+        threads.push(ThreadSample { threads: t, ms });
+    }
+    let (quotient_states, quotient_ms) = match way_rotation {
+        Some(perm) => {
+            let sym = node_rotation_symmetry(dfs, perm)
+                .expect("way rotation is a structural automorphism");
+            let (quo, ms) = best_of(reps, || Lts::explore_with(dfs, &ecfg(1), Some(&sym)));
+            assert!(!quo.is_truncated(), "{name}: quotient truncated");
+            (Some(quo.len()), Some(ms))
+        }
+        None => (None, None),
+    };
     Case {
         name: name.to_string(),
         backend: "lts",
-        states: engine.len(),
-        truncated: engine.is_truncated(),
+        states: serial.len(),
+        truncated: serial.is_truncated(),
         naive_ms,
         engine_ms,
+        threads,
+        quotient_states,
+        quotient_ms,
     }
 }
 
@@ -111,18 +214,50 @@ pub fn run_sweep(quick: bool) -> Vec<Case> {
             .expect("pipeline builds")
             .dfs
     };
-    let wagged = |ways: usize| wagged_pipeline(ways, 1, 1.0).expect("wagging builds").dfs;
+    let wagged = |ways: usize| wagged_pipeline(ways, 1, 1.0).expect("wagging builds");
 
     let mut cases = Vec::new();
-    cases.push(petri_case("reconfigurable_depth(2,2)", &reconfig(2, 2), 5));
-    cases.push(lts_case("reconfigurable_depth(2,2)", &reconfig(2, 2), 5));
-    cases.push(petri_case("wagging(ways=1,depth=1)", &wagged(1), 3));
+    cases.push(petri_case(
+        "reconfigurable_depth(2,2)",
+        &reconfig(2, 2),
+        5,
+        None,
+    ));
+    cases.push(lts_case(
+        "reconfigurable_depth(2,2)",
+        &reconfig(2, 2),
+        5,
+        None,
+    ));
+    let w1 = wagged(1);
+    cases.push(petri_case("wagging(ways=1,depth=1)", &w1.dfs, 3, None));
     if !quick {
-        cases.push(petri_case("reconfigurable_depth(3,2)", &reconfig(3, 2), 2));
-        cases.push(petri_case("reconfigurable_depth(3,3)", &reconfig(3, 3), 3));
-        cases.push(lts_case("reconfigurable_depth(3,3)", &reconfig(3, 3), 2));
-        cases.push(lts_case("wagging(ways=1,depth=1)", &wagged(1), 3));
-        cases.push(petri_case("wagging(ways=2,depth=1)", &wagged(2), 1));
+        cases.push(petri_case(
+            "reconfigurable_depth(3,2)",
+            &reconfig(3, 2),
+            2,
+            None,
+        ));
+        cases.push(petri_case(
+            "reconfigurable_depth(3,3)",
+            &reconfig(3, 3),
+            3,
+            None,
+        ));
+        cases.push(lts_case(
+            "reconfigurable_depth(3,3)",
+            &reconfig(3, 3),
+            2,
+            None,
+        ));
+        cases.push(lts_case("wagging(ways=1,depth=1)", &w1.dfs, 3, None));
+        let w2 = wagged(2);
+        cases.push(petri_case(
+            "wagging(ways=2,depth=1)",
+            &w2.dfs,
+            1,
+            Some(&w2.way_rotation),
+        ));
     }
     cases
 }
@@ -144,6 +279,27 @@ pub fn render_json(cases: &[Case], quick: bool) -> String {
         out.push_str(&format!("      \"truncated\": {},\n", c.truncated));
         out.push_str(&format!("      \"naive_ms\": {:.3},\n", c.naive_ms));
         out.push_str(&format!("      \"engine_ms\": {:.3},\n", c.engine_ms));
+        out.push_str("      \"threads\": [");
+        for (j, t) in c.threads.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"threads\": {}, \"ms\": {:.3}}}",
+                t.threads, t.ms
+            ));
+        }
+        out.push_str("],\n");
+        match (c.quotient_states, c.quotient_ms) {
+            (Some(q), Some(ms)) => {
+                out.push_str(&format!("      \"quotient_states\": {q},\n"));
+                out.push_str(&format!("      \"quotient_ms\": {ms:.3},\n"));
+            }
+            _ => {
+                out.push_str("      \"quotient_states\": null,\n");
+                out.push_str("      \"quotient_ms\": null,\n");
+            }
+        }
         out.push_str(&format!("      \"speedup\": {:.3}\n", c.speedup()));
         out.push_str(if i + 1 == cases.len() {
             "    }\n"
@@ -158,10 +314,20 @@ pub fn render_json(cases: &[Case], quick: bool) -> String {
         .fold(f64::INFINITY, f64::min);
     let geomean =
         (cases.iter().map(|c| c.speedup().ln()).sum::<f64>() / cases.len().max(1) as f64).exp();
+    let max_thread = cases
+        .iter()
+        .map(Case::thread_speedup)
+        .fold(1.0f64, f64::max);
+    let max_quot = cases
+        .iter()
+        .filter_map(Case::quotient_reduction)
+        .fold(1.0f64, f64::max);
     out.push_str("  \"summary\": {\n");
     out.push_str(&format!("    \"cases\": {},\n", cases.len()));
     out.push_str(&format!("    \"min_speedup\": {min:.3},\n"));
-    out.push_str(&format!("    \"geomean_speedup\": {geomean:.3}\n"));
+    out.push_str(&format!("    \"geomean_speedup\": {geomean:.3},\n"));
+    out.push_str(&format!("    \"max_thread_speedup\": {max_thread:.3},\n"));
+    out.push_str(&format!("    \"max_quotient_reduction\": {max_quot:.3}\n"));
     out.push_str("  }\n");
     out.push_str("}\n");
     out
@@ -176,9 +342,14 @@ pub struct Summary {
     pub min_speedup: f64,
     /// Geometric-mean speedup across cases.
     pub geomean_speedup: f64,
+    /// Largest threads=1 / threads=max wall-clock ratio across cases.
+    pub max_thread_speedup: f64,
+    /// Largest full/quotient state-count ratio across cases (1.0 when no
+    /// case has a quotient axis).
+    pub max_quotient_reduction: f64,
 }
 
-/// Validates a `BENCH_state_space.json` document against the v1 schema and
+/// Validates a `BENCH_state_space.json` document against the v2 schema and
 /// returns its summary.
 ///
 /// # Errors
@@ -236,6 +407,45 @@ pub fn validate(src: &str) -> Result<Summary, String> {
         if engine_ms > 0.0 && (speedup - naive_ms / engine_ms).abs() > 0.05 * speedup.max(1.0) {
             return Err(format!("case {i}: speedup inconsistent with timings"));
         }
+        let threads = field("threads")?
+            .as_arr()
+            .ok_or(format!("case {i}: \"threads\" not an array"))?;
+        if threads.is_empty() {
+            return Err(format!("case {i}: empty threads axis"));
+        }
+        let mut prev = 0.0f64;
+        for (j, t) in threads.iter().enumerate() {
+            let tn = t
+                .get("threads")
+                .and_then(Json::as_f64)
+                .filter(|x| *x >= 1.0)
+                .ok_or(format!("case {i}: threads[{j}] missing worker count"))?;
+            if tn <= prev {
+                return Err(format!("case {i}: threads axis not strictly increasing"));
+            }
+            prev = tn;
+            t.get("ms")
+                .and_then(Json::as_f64)
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or(format!("case {i}: threads[{j}] missing \"ms\""))?;
+        }
+        let qs = field("quotient_states")?;
+        match qs.as_f64() {
+            Some(q) => {
+                if !(1.0..=states).contains(&q) {
+                    return Err(format!("case {i}: quotient_states outside [1, states]"));
+                }
+                field("quotient_ms")?
+                    .as_f64()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or(format!("case {i}: quotient without \"quotient_ms\""))?;
+            }
+            None => {
+                if *qs != Json::Null {
+                    return Err(format!("case {i}: \"quotient_states\" not number or null"));
+                }
+            }
+        }
         min = min.min(speedup);
     }
     let summary = doc.get("summary").ok_or("missing \"summary\"")?;
@@ -257,6 +467,8 @@ pub fn validate(src: &str) -> Result<Summary, String> {
         cases: cases.len(),
         min_speedup,
         geomean_speedup: get_num("geomean_speedup")?,
+        max_thread_speedup: get_num("max_thread_speedup")?,
+        max_quotient_reduction: get_num("max_quotient_reduction")?,
     })
 }
 
@@ -273,14 +485,38 @@ mod tests {
                 truncated: false,
                 naive_ms: 1.2,
                 engine_ms: 0.4,
+                threads: vec![
+                    ThreadSample {
+                        threads: 1,
+                        ms: 0.4,
+                    },
+                    ThreadSample {
+                        threads: 2,
+                        ms: 0.25,
+                    },
+                ],
+                quotient_states: None,
+                quotient_ms: None,
             },
             Case {
-                name: "reconfigurable_depth(2,2)".into(),
+                name: "wagging(ways=2,depth=1)".into(),
                 backend: "lts",
                 states: 1536,
                 truncated: false,
                 naive_ms: 2.0,
                 engine_ms: 0.5,
+                threads: vec![
+                    ThreadSample {
+                        threads: 1,
+                        ms: 0.5,
+                    },
+                    ThreadSample {
+                        threads: 2,
+                        ms: 0.3,
+                    },
+                ],
+                quotient_states: Some(800),
+                quotient_ms: Some(0.3),
             },
         ]
     }
@@ -291,14 +527,22 @@ mod tests {
         let summary = validate(&json).unwrap();
         assert_eq!(summary.cases, 2);
         assert!((summary.min_speedup - 3.0).abs() < 0.05);
+        assert!((summary.max_thread_speedup - 0.5 / 0.3).abs() < 0.05);
+        assert!((summary.max_quotient_reduction - 1536.0 / 800.0).abs() < 0.05);
     }
 
     #[test]
     fn validation_rejects_broken_documents() {
         let good = render_json(&fake_cases(), true);
-        assert!(validate(&good.replace(SCHEMA, "other/schema")).is_err());
+        assert!(validate(&good.replace(SCHEMA, "rap/state-space-scaling/v1")).is_err());
         assert!(validate(&good.replace("\"cases\"", "\"cazes\"")).is_err());
         assert!(validate(&good.replace("\"speedup\": 3.000", "\"speedup\": 9.000")).is_err());
+        assert!(
+            validate(&good.replace("\"threads\": [{", "\"threads\": [ ] , \"x\": [{")).is_err()
+        );
+        assert!(
+            validate(&good.replace("\"quotient_states\": 800", "\"quotient_states\": 0")).is_err()
+        );
         assert!(validate("{}").is_err());
         assert!(validate("not json").is_err());
     }

@@ -88,12 +88,53 @@ impl Dfs {
         if n == 0 {
             return mix(0x0df5);
         }
+        let mut sorted = self.wl_refine(true);
+        sorted.sort_unstable();
+        let mut digest = fold(0x0df5, n as u64);
+        digest = fold(digest, self.edge_count() as u64);
+        digest = fold(digest, self.initial_token_count() as u64);
+        for l in sorted {
+            digest = fold(digest, l);
+        }
+        digest
+    }
+
+    /// The stable Weisfeiler–Lehman colour of every node, computed like the
+    /// [`Dfs::structural_hash`] refinement but **ignoring initial markings**
+    /// (kinds, delays, guard modes and arc structure only).
+    ///
+    /// Two nodes in the same *orbit* of the model's structural automorphism
+    /// group necessarily share a colour, so equal colours are the
+    /// candidate-orbit information for symmetry reduction: a claimed
+    /// symmetry (e.g. the way rotation of a wagged pipeline) must map every
+    /// node to one of its colour-mates. Markings are excluded because
+    /// quotient exploration does not require the initial state to be
+    /// symmetric (the engine canonicalizes it first) — a wagged pipeline's
+    /// ways are colour-equal even though its control tokens start in way 0.
+    /// The converse does not hold — equal colour does not prove an
+    /// automorphism exists — which is why
+    /// [`crate::node_rotation_symmetry`] re-validates the full arc structure
+    /// before building an engine symmetry from a node permutation.
+    #[must_use]
+    pub fn wl_colors(&self) -> Vec<u64> {
+        self.wl_refine(false)
+    }
+
+    /// WL colour refinement to a fixed point (⌈log₂ n⌉ + 2 rounds), seeded
+    /// with or without the initial-marking tag.
+    fn wl_refine(&self, with_marking: bool) -> Vec<u64> {
+        let n = self.node_count();
+        if n == 0 {
+            return Vec::new();
+        }
         let mut labels: Vec<u64> = self
             .nodes()
             .map(|id| {
                 let node = self.node(id);
                 let mut h = fold(0x0df5, kind_tag(node.kind));
-                h = fold(h, initial_tag(node.initial));
+                if with_marking {
+                    h = fold(h, initial_tag(node.initial));
+                }
                 h = fold(h, node.delay.to_bits());
                 fold(h, guard_tag(self.guard_mode(id)))
             })
@@ -124,14 +165,7 @@ impl Dfs {
             std::mem::swap(&mut labels, &mut next);
         }
 
-        labels.sort_unstable();
-        let mut digest = fold(0x0df5, n as u64);
-        digest = fold(digest, self.edge_count() as u64);
-        digest = fold(digest, self.initial_token_count() as u64);
-        for l in labels {
-            digest = fold(digest, l);
-        }
-        digest
+        labels
     }
 }
 
@@ -236,6 +270,24 @@ mod tests {
         }
         // rebuilding the same spec reproduces the hash exactly
         assert_eq!(h(2), h(2));
+    }
+
+    #[test]
+    fn wl_colors_equate_wagged_ways() {
+        use crate::wagging::wagged_pipeline;
+        let w = wagged_pipeline(2, 1, 1.0).unwrap();
+        let colors = w.dfs.wl_colors();
+        let c = |name: &str| colors[w.dfs.node_by_name(name).unwrap().index()];
+        // the two ways are structural rotations of each other, so every
+        // replicated node shares its colour with its counterpart — even
+        // though the control tokens start in way 0 only
+        assert_eq!(c("w0_entry"), c("w1_entry"));
+        assert_eq!(c("w0_exit"), c("w1_exit"));
+        assert_eq!(c("w0_r1"), c("w1_r1"));
+        assert_eq!(c("dc0"), c("dc3"));
+        // distinct structure still separates
+        assert_ne!(c("w0_entry"), c("w0_exit"));
+        assert_ne!(c("w0_entry"), c("dc0"));
     }
 
     #[test]

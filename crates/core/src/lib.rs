@@ -71,7 +71,7 @@ pub mod wagging;
 pub use builder::{DfsBuilder, NodeBuilder};
 pub use error::DfsError;
 pub use graph::{Dfs, EdgeRef, GuardMode, RRef};
-pub use lts::{Lts, LtsStateId};
+pub use lts::{node_rotation_symmetry, Lts, LtsStateId};
 pub use node::{InitialMarking, Node, NodeId, NodeKind, TokenValue};
 pub use semantics::{Event, GuardStatus};
 pub use state::DfsState;

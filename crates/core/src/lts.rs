@@ -10,16 +10,25 @@
 //! `false-valued`) in a dense arena, and after each event only the events of
 //! *dependent* nodes — the event's own node plus everything reading it
 //! through data edges, R-presets/postsets or guards — are re-checked for
-//! enabledness. The original explorer is retained as
-//! [`Lts::explore_naive_truncated`] for property-based cross-checking and as
-//! the benchmark baseline.
+//! enabledness. This PR moves the default path onto the *parallel* engine
+//! with delta-compressed state storage; results are identical at every
+//! thread count (see the engine docs for the determinism contract). The
+//! original explorer is retained as [`Lts::explore_naive_truncated`] for
+//! property-based cross-checking and as the benchmark baseline, and the
+//! serial engine as [`Lts::explore_serial_truncated`].
+//!
+//! Symmetric models (wagged replicas) can be explored as a rotation
+//! *quotient* via [`Lts::explore_with`] and a [`StateSymmetry`] built by
+//! [`node_rotation_symmetry`] from a node permutation.
 
 use crate::graph::Dfs;
 use crate::node::{NodeId, NodeKind, TokenValue};
 use crate::semantics::Event;
 use crate::state::DfsState;
 use crate::DfsError;
-use rap_petri::engine::{self, get_bit, set_bit, ExploredGraph, TransitionSystem, NO_PARENT};
+use rap_petri::engine::{
+    self, get_bit, set_bit, EngineConfig, ExploredGraph, StateSymmetry, TransitionSystem, NO_PARENT,
+};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
@@ -37,18 +46,18 @@ impl LtsStateId {
 
 /// The reachable labelled transition system of a DFS model.
 ///
-/// States are stored word-packed; [`Lts::state`] materialises a
-/// [`DfsState`] snapshot on demand.
+/// States live delta-compressed in the underlying [`ExploredGraph`];
+/// [`Lts::state`] materialises a [`DfsState`] snapshot on demand.
 #[derive(Debug, Clone)]
 pub struct Lts {
     node_count: usize,
-    stride: usize,
-    arena: Vec<u64>,
-    parents: Vec<(u32, u32)>,
+    graph: ExploredGraph,
+    actions: Vec<Event>,
     parent_events: Vec<Event>,
-    succ_off: Vec<u32>,
     succ: Vec<(Event, LtsStateId)>,
-    truncated: bool,
+    /// Present when this is a quotient LTS: the symmetry used to
+    /// canonicalize states, needed to make traces concrete again.
+    symmetry: Option<StateSymmetry>,
 }
 
 impl Lts {
@@ -59,7 +68,7 @@ impl Lts {
     /// [`DfsError::StateBudgetExceeded`] when the bound is hit.
     pub fn explore(dfs: &Dfs, max_states: usize) -> Result<Lts, DfsError> {
         let lts = Self::explore_truncated(dfs, max_states);
-        if lts.truncated {
+        if lts.is_truncated() {
             return Err(DfsError::StateBudgetExceeded { budget: max_states });
         }
         Ok(lts)
@@ -68,12 +77,41 @@ impl Lts {
     /// Like [`Lts::explore`] but returns the partial LTS on budget overrun.
     #[must_use]
     pub fn explore_truncated(dfs: &Dfs, max_states: usize) -> Lts {
-        let mut sys = DfsSystem::new(dfs);
-        let graph = engine::explore(&mut sys, max_states);
-        Self::from_graph(graph, &sys)
+        Self::explore_with(
+            dfs,
+            &EngineConfig {
+                max_states,
+                ..EngineConfig::default()
+            },
+            None,
+        )
     }
 
-    fn from_graph(g: ExploredGraph, sys: &DfsSystem<'_>) -> Lts {
+    /// Full-control frontend: explores on the parallel engine with explicit
+    /// [`EngineConfig`] knobs, optionally as the rotation quotient under
+    /// `symmetry` (build one with [`node_rotation_symmetry`]).
+    #[must_use]
+    pub fn explore_with(dfs: &Dfs, cfg: &EngineConfig, symmetry: Option<&StateSymmetry>) -> Lts {
+        let graph = engine::explore_parallel(|| DfsSystem::new(dfs), cfg, symmetry);
+        let sys = DfsSystem::new(dfs);
+        Self::from_graph(graph, &sys, symmetry.cloned())
+    }
+
+    /// The serial engine (PR 2), kept as a reference implementation: the
+    /// differential suite pins the parallel engine against it
+    /// state-for-state. Use [`Lts::explore_truncated`] everywhere else.
+    #[must_use]
+    pub fn explore_serial_truncated(dfs: &Dfs, max_states: usize) -> Lts {
+        let mut sys = DfsSystem::new(dfs);
+        let graph = engine::explore(&mut sys, max_states);
+        Self::from_graph(graph, &sys, None)
+    }
+
+    fn from_graph(
+        mut g: ExploredGraph,
+        sys: &DfsSystem<'_>,
+        symmetry: Option<StateSymmetry>,
+    ) -> Lts {
         let parent_events = g
             .parents
             .iter()
@@ -86,20 +124,17 @@ impl Lts {
                 }
             })
             .collect();
-        let succ = g
-            .succ
-            .iter()
-            .map(|&(a, s)| (sys.actions[a as usize], LtsStateId(s)))
+        let succ = std::mem::take(&mut g.succ)
+            .into_iter()
+            .map(|(a, s)| (sys.actions[a as usize], LtsStateId(s)))
             .collect();
         Lts {
             node_count: sys.dfs.node_count(),
-            stride: g.stride,
-            arena: g.arena,
-            parents: g.parents,
+            graph: g,
+            actions: sys.actions.clone(),
             parent_events,
-            succ_off: g.succ_off,
             succ,
-            truncated: g.truncated,
+            symmetry,
         }
     }
 
@@ -119,7 +154,7 @@ impl Lts {
         let mut parent_events: Vec<Event> = vec![Event::Eval(NodeId::from_index(0))];
         index.insert(s0, LtsStateId(0));
         let mut queue = VecDeque::from([LtsStateId(0)]);
-        let mut truncated = false;
+        let mut outcome = engine::ExploreOutcome::Complete;
 
         'bfs: while let Some(s) = queue.pop_front() {
             let state = states[s.index()].clone();
@@ -129,7 +164,7 @@ impl Lts {
                     Entry::Occupied(e) => *e.get(),
                     Entry::Vacant(e) => {
                         if states.len() >= max_states {
-                            truncated = true;
+                            outcome = engine::ExploreOutcome::Truncated { limit: max_states };
                             break 'bfs;
                         }
                         let id = LtsStateId(states.len() as u32);
@@ -146,7 +181,7 @@ impl Lts {
             }
         }
 
-        // pack into the arena representation shared with the engine path
+        // pack into the graph representation shared with the engine path
         let node_count = dfs.node_count();
         let stride = DfsSystem::stride_for(node_count);
         let mut arena = Vec::with_capacity(states.len() * stride);
@@ -164,34 +199,47 @@ impl Lts {
             succ_off.push(succ.len() as u32);
         }
 
+        let sys = DfsSystem::new(dfs);
+        let graph =
+            ExploredGraph::from_dense(stride, arena, parents, succ_off, Vec::new(), outcome);
         Lts {
             node_count,
-            stride,
-            arena,
-            parents,
+            graph,
+            actions: sys.actions,
             parent_events,
-            succ_off,
             succ,
-            truncated,
+            symmetry: None,
         }
     }
 
-    /// Number of reachable states.
+    /// Number of reachable states (orbit representatives for a quotient).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.parents.len()
+        self.graph.len()
     }
 
     /// Always false (the initial state exists); pairs with [`Lts::len`].
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.parents.is_empty()
+        self.graph.is_empty()
     }
 
     /// Was exploration cut short by the state budget?
     #[must_use]
     pub fn is_truncated(&self) -> bool {
-        self.truncated
+        self.graph.is_truncated()
+    }
+
+    /// How exploration ended (carries the budget on truncation).
+    #[must_use]
+    pub fn outcome(&self) -> engine::ExploreOutcome {
+        self.graph.outcome()
+    }
+
+    /// The symmetry this LTS is a quotient under, if any.
+    #[must_use]
+    pub fn symmetry(&self) -> Option<&StateSymmetry> {
+        self.symmetry.as_ref()
     }
 
     /// The initial state id.
@@ -200,7 +248,7 @@ impl Lts {
         LtsStateId(0)
     }
 
-    /// The state snapshot for `id`, decoded from the arena.
+    /// The state snapshot for `id`, reconstructed from the compressed store.
     #[must_use]
     pub fn state(&self, id: LtsStateId) -> DfsState {
         let mut out = DfsState {
@@ -211,37 +259,78 @@ impl Lts {
         out
     }
 
-    /// Decodes the state `id` into `out` without allocating. `out` must come
-    /// from the same model (same node count).
+    /// Decodes the state `id` into `out`. `out` must come from the same
+    /// model (same node count).
     pub fn fill_state(&self, id: LtsStateId, out: &mut DfsState) {
         assert_eq!(out.active.len(), self.node_count, "state buffer mismatch");
-        let words = &self.arena[id.index() * self.stride..(id.index() + 1) * self.stride];
-        DfsSystem::decode_words(words, self.node_count, out);
+        let mut words = vec![0u64; self.graph.stride()];
+        self.graph.fill_state(id.index(), &mut words);
+        DfsSystem::decode_words(&words, self.node_count, out);
     }
 
     /// Iterates over all state ids.
     pub fn states(&self) -> impl Iterator<Item = LtsStateId> {
-        (0..self.parents.len() as u32).map(LtsStateId)
+        (0..self.graph.len() as u32).map(LtsStateId)
     }
 
     /// Outgoing labelled edges of `id`.
     #[must_use]
     pub fn successors(&self, id: LtsStateId) -> &[(Event, LtsStateId)] {
         let i = id.index();
-        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+        &self.succ[self.graph.succ_off[i] as usize..self.graph.succ_off[i + 1] as usize]
     }
 
     /// Event sequence from the initial state to `id`.
+    ///
+    /// For a quotient LTS this trace is over orbit *representatives*; use
+    /// [`Lts::concrete_trace_to`] for a replayable sequence of the original
+    /// model.
     #[must_use]
     pub fn trace_to(&self, id: LtsStateId) -> Vec<Event> {
         let mut rev = Vec::new();
         let mut cur = id.index();
-        while self.parents[cur].0 != NO_PARENT {
+        while self.graph.parents[cur].0 != NO_PARENT {
             rev.push(self.parent_events[cur]);
-            cur = self.parents[cur].0 as usize;
+            cur = self.graph.parents[cur].0 as usize;
         }
         rev.reverse();
         rev
+    }
+
+    /// The symmetry rotation applied when `id` was canonicalized at
+    /// discovery (always 0 outside quotient LTSs).
+    #[must_use]
+    pub fn rotation(&self, id: LtsStateId) -> u32 {
+        self.graph.rotation(id.index())
+    }
+
+    /// An event sequence of the *original* model from its concrete initial
+    /// state to a concrete member of `id`'s orbit. Falls back to
+    /// [`Lts::trace_to`] when this is not a quotient LTS.
+    ///
+    /// Each quotient step fires in the representative's frame; un-rotating
+    /// by the cumulative rotation accumulated along the discovery path
+    /// yields the concrete event — see the soundness argument in the
+    /// [`rap_petri::engine`] docs.
+    #[must_use]
+    pub fn concrete_trace_to(&self, id: LtsStateId) -> Vec<Event> {
+        let Some(sym) = &self.symmetry else {
+            return self.trace_to(id);
+        };
+        let mut path = vec![id.index()];
+        while self.graph.parents[*path.last().expect("non-empty path")].0 != NO_PARENT {
+            path.push(self.graph.parents[*path.last().expect("non-empty path")].0 as usize);
+        }
+        path.reverse();
+        let order = sym.order() as u32;
+        let mut rot = self.graph.rotation(path[0]);
+        let mut out = Vec::with_capacity(path.len() - 1);
+        for &child in &path[1..] {
+            let a = self.graph.parents[child].1;
+            out.push(self.actions[sym.unrotate_action(rot, a) as usize]);
+            rot = (rot + self.graph.rotation(child)) % order;
+        }
+        out
     }
 
     /// States with no outgoing edges (deadlocks).
@@ -264,6 +353,119 @@ impl Lts {
             pred(&scratch)
         })
     }
+}
+
+/// Builds the engine-level [`StateSymmetry`] of a DFS model generated by a
+/// node permutation (`node_perm[i]` = image of node `i`), for quotient
+/// exploration via [`Lts::explore_with`].
+///
+/// The permutation must preserve the model's *structure*: node kinds, guard
+/// modes, and the (inversion-flagged) data-edge, R-preset/postset and guard
+/// relations. The initial state is deliberately **not** required to be
+/// symmetric — the engine canonicalizes it first (see its docs) — which is
+/// what makes the rotation of a wagged pipeline usable even though its
+/// control tokens start in way 0 only.
+///
+/// # Errors
+///
+/// When `node_perm` is not a permutation of the nodes or fails to preserve
+/// the structure.
+pub fn node_rotation_symmetry(dfs: &Dfs, node_perm: &[u32]) -> Result<StateSymmetry, String> {
+    let n = dfs.node_count();
+    if node_perm.len() != n {
+        return Err(format!(
+            "node permutation covers {} of {n} nodes",
+            node_perm.len()
+        ));
+    }
+    let mut seen = vec![false; n];
+    for &p in node_perm {
+        let i = p as usize;
+        if i >= n || seen[i] {
+            return Err(format!(
+                "not a permutation: node image {p} repeated or out of range"
+            ));
+        }
+        seen[i] = true;
+    }
+
+    for node in dfs.nodes() {
+        let img = NodeId::from_index(node_perm[node.index()] as usize);
+        if dfs.kind(node) != dfs.kind(img) {
+            return Err(format!(
+                "node {} and its image differ in kind",
+                node.index()
+            ));
+        }
+        if dfs.guard_mode(node) != dfs.guard_mode(img) {
+            return Err(format!(
+                "node {} and its image differ in guard mode",
+                node.index()
+            ));
+        }
+        let edge_key = |edges: &[crate::graph::EdgeRef], map: bool| -> Vec<(usize, bool)> {
+            let mut v: Vec<(usize, bool)> = edges
+                .iter()
+                .map(|e| {
+                    let i = e.node.index();
+                    (if map { node_perm[i] as usize } else { i }, e.inverted)
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let rref_key = |refs: &[crate::graph::RRef], map: bool| -> Vec<(usize, bool)> {
+            let mut v: Vec<(usize, bool)> = refs
+                .iter()
+                .map(|r| {
+                    let i = r.node.index();
+                    (if map { node_perm[i] as usize } else { i }, r.inverted)
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let preserved = edge_key(dfs.preds(node), true) == edge_key(dfs.preds(img), false)
+            && edge_key(dfs.succs(node), true) == edge_key(dfs.succs(img), false)
+            && rref_key(dfs.r_preset(node), true) == rref_key(dfs.r_preset(img), false)
+            && rref_key(dfs.r_postset(node), true) == rref_key(dfs.r_postset(img), false)
+            && rref_key(dfs.guards(node), true) == rref_key(dfs.guards(img), false);
+        if !preserved {
+            return Err(format!(
+                "not an automorphism: node {} and its image differ in arc structure",
+                node.index()
+            ));
+        }
+    }
+
+    // two-plane bit permutation: plane 0 (active) and plane 1 (false-valued)
+    // each permute by the node map; pad bits map to themselves
+    let w = DfsSystem::plane_words(n);
+    let bits = DfsSystem::stride_for(n) * 64;
+    let mut bit_perm: Vec<u32> = (0..bits as u32).collect();
+    for (i, &p) in node_perm.iter().enumerate() {
+        bit_perm[i] = p;
+        bit_perm[w * 64 + i] = (w * 64) as u32 + p;
+    }
+
+    // action permutation: slot s of node i maps to slot s of its image
+    // (same kind, hence the same slot layout)
+    let mut base = Vec::with_capacity(n);
+    let mut total = 0u32;
+    for node in dfs.nodes() {
+        base.push(total);
+        total += action_slots(dfs.kind(node));
+    }
+    let mut act_perm = vec![0u32; total as usize];
+    for node in dfs.nodes() {
+        let i = node.index();
+        let j = node_perm[i] as usize;
+        for s in 0..action_slots(dfs.kind(node)) {
+            act_perm[(base[i] + s) as usize] = base[j] + s;
+        }
+    }
+
+    StateSymmetry::new(bit_perm, act_perm)
 }
 
 /// Maximum actions a node can offer, by kind (see the action layout below).
@@ -487,6 +689,25 @@ mod tests {
         b.finish().unwrap()
     }
 
+    /// Two disjoint copies of the three-register ring: the swap of the two
+    /// copies is a structural automorphism of order 2.
+    fn double_ring() -> (Dfs, Vec<u32>) {
+        let mut b = DfsBuilder::new();
+        let mut ids = Vec::new();
+        for copy in 0..2 {
+            let r0 = b.register(format!("a{copy}")).marked().build();
+            let r1 = b.register(format!("b{copy}")).build();
+            let r2 = b.register(format!("c{copy}")).build();
+            b.connect(r0, r1);
+            b.connect(r1, r2);
+            b.connect(r2, r0);
+            ids.extend([r0, r1, r2]);
+        }
+        let dfs = b.finish().unwrap();
+        let perm: Vec<u32> = (0..6u32).map(|i| (i + 3) % 6).collect();
+        (dfs, perm)
+    }
+
     #[test]
     fn two_register_ring_deadlocks() {
         // With fewer than three registers a token cannot oscillate: the
@@ -526,6 +747,10 @@ mod tests {
         ));
         let partial = Lts::explore_truncated(&dfs, 2);
         assert!(partial.is_truncated());
+        assert_eq!(
+            partial.outcome(),
+            engine::ExploreOutcome::Truncated { limit: 2 }
+        );
         assert_eq!(partial.len(), 2);
     }
 
@@ -550,20 +775,69 @@ mod tests {
         assert!(mismatch.is_some());
     }
 
-    /// The engine-backed explorer is indistinguishable from the naive
-    /// reference: same numbering, edges, traces and truncation behaviour.
+    /// The engine-backed explorers are indistinguishable from the naive
+    /// reference: same numbering, edges, traces and truncation behaviour,
+    /// at every thread count.
     #[test]
     fn engine_matches_naive_reference() {
         let dfs = ring();
         for budget in [usize::MAX, 5, 2] {
-            let a = Lts::explore_truncated(&dfs, budget);
-            let b = Lts::explore_naive_truncated(&dfs, budget);
-            assert_eq!(a.len(), b.len());
-            assert_eq!(a.is_truncated(), b.is_truncated());
-            for (sa, sb) in a.states().zip(b.states()) {
-                assert_eq!(a.state(sa), b.state(sb));
-                assert_eq!(a.successors(sa), b.successors(sb));
+            for threads in [1usize, 2, 4] {
+                let a = Lts::explore_with(
+                    &dfs,
+                    &EngineConfig {
+                        max_states: budget,
+                        threads,
+                        anchor_interval: 0,
+                    },
+                    None,
+                );
+                let s = Lts::explore_serial_truncated(&dfs, budget);
+                let b = Lts::explore_naive_truncated(&dfs, budget);
+                assert_eq!(a.len(), b.len());
+                assert_eq!(s.len(), b.len());
+                assert_eq!(a.is_truncated(), b.is_truncated());
+                for (sa, sb) in a.states().zip(b.states()) {
+                    assert_eq!(a.state(sa), b.state(sb));
+                    assert_eq!(s.state(sa), b.state(sb));
+                    assert_eq!(a.successors(sa), b.successors(sb));
+                    assert_eq!(a.trace_to(sa), b.trace_to(sb));
+                }
             }
         }
+    }
+
+    /// The swap of two disjoint identical rings is an automorphism; the
+    /// quotient halves (most of) the space and preserves deadlock-freedom,
+    /// and its concrete traces replay through the real semantics.
+    #[test]
+    fn quotient_under_copy_swap_is_sound() {
+        let (dfs, perm) = double_ring();
+        let sym = node_rotation_symmetry(&dfs, &perm).unwrap();
+        assert_eq!(sym.order(), 2);
+        let full = Lts::explore_truncated(&dfs, 100_000);
+        let quo = Lts::explore_with(&dfs, &EngineConfig::default(), Some(&sym));
+        assert!(quo.len() < full.len());
+        assert!(quo.len() * 2 >= full.len());
+        assert_eq!(full.deadlocks().is_empty(), quo.deadlocks().is_empty());
+        // concrete traces must replay step-enabled through the semantics
+        for s in quo.states() {
+            let mut st = DfsState::initial(&dfs);
+            for ev in quo.concrete_trace_to(s) {
+                assert!(dfs.is_event_enabled(&st, ev), "concrete trace not enabled");
+                st = dfs.apply(&st, ev);
+            }
+        }
+    }
+
+    #[test]
+    fn broken_node_permutations_are_rejected() {
+        let (dfs, _) = double_ring();
+        // not a permutation
+        assert!(node_rotation_symmetry(&dfs, &[0, 0, 1, 2, 3, 4]).is_err());
+        // wrong width
+        assert!(node_rotation_symmetry(&dfs, &[0, 1, 2]).is_err());
+        // a permutation that breaks the arc structure
+        assert!(node_rotation_symmetry(&dfs, &[1, 0, 2, 3, 4, 5]).is_err());
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::graph::{Dfs, GuardMode, RRef};
 use crate::node::{NodeId, NodeKind, TokenValue};
+use rap_petri::symmetry::Symmetry;
 use rap_petri::{PetriNet, PlaceId, TransitionId};
 use std::collections::HashMap;
 
@@ -58,6 +59,73 @@ impl PetriImage {
             .copied()
             .chain(self.value_places.values().flat_map(|&(mt, mf)| [mt, mf]))
             .collect()
+    }
+
+    /// Pushes a DFS-level node permutation (e.g.
+    /// [`crate::wagging::Wagged::way_rotation`]) through the translation's
+    /// place maps and builds the induced net-level [`Symmetry`], for
+    /// quotient exploration of the Petri image.
+    ///
+    /// Every place of node `n` (logic `C` pair, marking `M` pair, value
+    /// `Mt`/`Mf` pairs) maps to the corresponding place of `node_perm[n]`;
+    /// [`Symmetry::new`] then derives the transition permutation and
+    /// re-validates that the whole map is a net automorphism.
+    ///
+    /// # Errors
+    ///
+    /// When `node_perm` is malformed or the induced place map is not a net
+    /// automorphism (e.g. the permuted nodes differ in kind).
+    pub fn induced_symmetry(&self, node_perm: &[u32]) -> Result<Symmetry, String> {
+        let nodes = node_perm.len();
+        let img_of = |id: NodeId| -> Result<NodeId, String> {
+            let i = id.index();
+            if i >= nodes {
+                return Err(format!(
+                    "node permutation covers {nodes} nodes, node {i} is out of range"
+                ));
+            }
+            Ok(NodeId::from_index(node_perm[i] as usize))
+        };
+        let mut place_perm = vec![u32::MAX; self.net.place_count()];
+        let mut set = |from: PlaceId, to: PlaceId| {
+            place_perm[from.index()] = to.index() as u32;
+        };
+        for (&node, &(p0, p1)) in &self.logic_places {
+            let img = img_of(node)?;
+            let &(q0, q1) = self.logic_places.get(&img).ok_or_else(|| {
+                format!("image of logic node {} is not a logic node", node.index())
+            })?;
+            set(p0, q0);
+            set(p1, q1);
+        }
+        for (&node, &(p0, p1)) in &self.marking_places {
+            let img = img_of(node)?;
+            let &(q0, q1) = self
+                .marking_places
+                .get(&img)
+                .ok_or_else(|| format!("image of register {} is not a register", node.index()))?;
+            set(p0, q0);
+            set(p1, q1);
+        }
+        for (&node, &((t0, t1), (f0, f1))) in &self.value_places {
+            let img = img_of(node)?;
+            let &((u0, u1), (v0, v1)) = self.value_places.get(&img).ok_or_else(|| {
+                format!(
+                    "image of dynamic register {} is not a dynamic register",
+                    node.index()
+                )
+            })?;
+            set(t0, u0);
+            set(t1, u1);
+            set(f0, v0);
+            set(f1, v1);
+        }
+        if let Some(miss) = place_perm.iter().position(|&p| p == u32::MAX) {
+            return Err(format!(
+                "place {miss} is not covered by the translation maps"
+            ));
+        }
+        Symmetry::new(&self.net, place_perm)
     }
 }
 
@@ -585,5 +653,23 @@ mod tests {
         let space = explore(&img.net, ExploreConfig::default()).unwrap();
         let pairs = img.complementary_pairs();
         assert!(rap_petri::analysis::check_complementary_pairs(&space, &pairs).is_none());
+    }
+
+    #[test]
+    fn induced_symmetry_survives_the_translation() {
+        use crate::wagging::wagged_pipeline;
+        let w = wagged_pipeline(2, 1, 1.0).unwrap();
+        let img = to_petri(&w.dfs);
+        let sym = img
+            .induced_symmetry(&w.way_rotation)
+            .expect("way rotation must induce a net automorphism");
+        assert_eq!(sym.order(), 2);
+        // the translation's complementary-pair set is closed under it, so
+        // quotient 1-safety verdicts are transferable
+        assert!(sym.pairs_closed(&img.complementary_pairs()));
+        // a malformed permutation is rejected
+        let mut broken = w.way_rotation.clone();
+        broken.swap(0, 1);
+        assert!(img.induced_symmetry(&broken).is_err());
     }
 }

@@ -79,6 +79,7 @@ pub fn verify(dfs: &Dfs, config: &VerifyConfig) -> Result<VerificationReport, Df
         &img.net,
         ExploreConfig {
             max_states: config.max_states,
+            ..ExploreConfig::default()
         },
     )?;
     Ok(VerificationReport {
@@ -112,6 +113,7 @@ pub fn check_deadlock(dfs: &Dfs, config: &VerifyConfig) -> Result<Vec<Counterexa
         &img.net,
         ExploreConfig {
             max_states: config.max_states,
+            ..ExploreConfig::default()
         },
     )?;
     Ok(deadlocks(&img, &space))

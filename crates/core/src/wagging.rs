@@ -49,6 +49,14 @@ pub struct Wagged {
     pub entries: Vec<NodeId>,
     /// Exit pops of the replicas.
     pub exits: Vec<NodeId>,
+    /// The way-rotation node permutation (`way_rotation[n]` = image of node
+    /// `n`): way `w` maps to way `w+1 (mod ways)`, both control rings rotate
+    /// by one guard position, and the shared environment maps to itself.
+    /// This is a *structural* automorphism of order `ways` (the initial
+    /// control tokens are **not** symmetric — they start in way 0 — which
+    /// quotient exploration tolerates; see
+    /// [`crate::node_rotation_symmetry`]). Identity for `ways == 1`.
+    pub way_rotation: Vec<u32>,
 }
 
 /// Builds a rotating control ring with `ways` guard positions (three
@@ -138,6 +146,30 @@ pub fn wagged_pipeline(
     }
 
     let dfs = b.finish()?;
+
+    // the way-rotation permutation: replica nodes shift one way over, ring
+    // registers shift one guard position (three registers), shared nodes fix
+    let mut way_rotation: Vec<u32> = (0..dfs.node_count() as u32).collect();
+    let by = |name: String| {
+        dfs.node_by_name(&name)
+            .expect("wagging node exists")
+            .index()
+    };
+    for i in 0..3 * ways {
+        let j = (i + 3) % (3 * ways);
+        way_rotation[by(format!("dc{i}"))] = by(format!("dc{j}")) as u32;
+        way_rotation[by(format!("cc{i}"))] = by(format!("cc{j}")) as u32;
+    }
+    for w in 0..ways {
+        let v = (w + 1) % ways;
+        way_rotation[by(format!("w{w}_entry"))] = by(format!("w{v}_entry")) as u32;
+        way_rotation[by(format!("w{w}_exit"))] = by(format!("w{v}_exit")) as u32;
+        for s in 1..=comp_depth.max(1) {
+            way_rotation[by(format!("w{w}_f{s}"))] = by(format!("w{v}_f{s}")) as u32;
+            way_rotation[by(format!("w{w}_r{s}"))] = by(format!("w{v}_r{s}")) as u32;
+        }
+    }
+
     Ok(Wagged {
         dfs,
         ways,
@@ -145,6 +177,7 @@ pub fn wagged_pipeline(
         output,
         entries,
         exits,
+        way_rotation,
     })
 }
 
@@ -214,6 +247,27 @@ mod tests {
                 (analysed - steady).abs() <= 1e-9 * steady,
                 "analysis {analysed} vs steady {steady}"
             );
+        }
+    }
+
+    #[test]
+    fn way_rotation_is_a_structural_automorphism() {
+        use crate::lts::node_rotation_symmetry;
+        for ways in [1usize, 2, 3] {
+            let w = wagged_pipeline(ways, 1, 2.0).unwrap();
+            let sym = node_rotation_symmetry(&w.dfs, &w.way_rotation)
+                .expect("way rotation must validate as an automorphism");
+            assert_eq!(sym.order(), ways.max(1), "ways={ways}");
+            // the permutation maps each entry to the next way's entry
+            for i in 0..ways {
+                assert_eq!(
+                    w.way_rotation[w.entries[i].index()] as usize,
+                    w.entries[(i + 1) % ways].index()
+                );
+            }
+            // shared environment nodes are fixed points
+            assert_eq!(w.way_rotation[w.input.index()] as usize, w.input.index());
+            assert_eq!(w.way_rotation[w.output.index()] as usize, w.output.index());
         }
     }
 

@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn translation_is_one_safe(dfs in arb_dfs()) {
         let img = to_petri(&dfs);
-        let space = explore_truncated(&img.net, ExploreConfig { max_states: 20_000 });
+        let space = explore_truncated(&img.net, ExploreConfig { max_states: 20_000, ..ExploreConfig::default() });
         prop_assert!(check_complementary_pairs(&space, &img.complementary_pairs()).is_none());
     }
 
@@ -65,7 +65,7 @@ proptest! {
     fn state_counts_agree(dfs in arb_dfs()) {
         let lts = Lts::explore_truncated(&dfs, 20_000);
         let img = to_petri(&dfs);
-        let space = explore_truncated(&img.net, ExploreConfig { max_states: 20_000 });
+        let space = explore_truncated(&img.net, ExploreConfig { max_states: 20_000, ..ExploreConfig::default() });
         prop_assume!(!lts.is_truncated() && !space.is_truncated());
         prop_assert_eq!(lts.len(), space.len());
     }

@@ -3,9 +3,11 @@
 //! pruning.
 //!
 //! * **Work stealing** — tasks (configurations) are dealt round-robin into
-//!   per-worker deques; a worker pops its own deque from the front and,
-//!   when empty, steals from the back of the others. No global queue lock
-//!   on the hot path, and stragglers (the big wagged models) end up shared.
+//!   per-worker deques ([`rap_pool::StealQueues`], extracted from this
+//!   driver so the parallel state-space engine shares it); a worker pops
+//!   its own deque from the front and, when empty, steals from the back of
+//!   the others. No global queue lock on the hot path, and stragglers (the
+//!   big wagged models) end up shared.
 //! * **Sharded collection** — each worker appends to its own result
 //!   vector; vectors are concatenated after the pool joins, then sorted
 //!   canonically, so the output is deterministic regardless of schedule.
@@ -46,9 +48,10 @@ use crate::eval::{evaluate_structural, optimistic_bound, period_lower_bound_unit
 use crate::pareto::{pareto_front_indices, Objectives};
 use crate::space::{Config, DesignSpace, Hardware};
 use dfs_core::Dfs;
+use rap_pool::StealQueues;
 use rap_session::{CompiledModel, Session};
 use rap_silicon::cost::CostModel;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -148,7 +151,7 @@ struct Shared<'a> {
     cfg: &'a DseConfig,
     session: &'a Session,
     tasks: Vec<Config>,
-    shards: Vec<Mutex<VecDeque<usize>>>,
+    queues: StealQueues<usize>,
     /// Exact periods of evaluated reconfigurable points, for the
     /// depth-monotonicity bound: (hardware label, sizing bits) → [(depth,
     /// period)].
@@ -218,25 +221,8 @@ impl Shared<'_> {
             .push(objectives);
     }
 
-    fn next_task(&self, me: usize) -> Option<usize> {
-        if let Some(t) = self.shards[me].lock().expect("shard").pop_front() {
-            return Some(t);
-        }
-        let n = self.shards.len();
-        for off in 1..n {
-            if let Some(t) = self.shards[(me + off) % n]
-                .lock()
-                .expect("shard")
-                .pop_back()
-            {
-                return Some(t);
-            }
-        }
-        None
-    }
-
     fn run_worker(&self, me: usize, out: &mut Vec<Evaluation>) {
-        while let Some(idx) = self.next_task(me) {
+        while let Some(idx) = self.queues.next(me) {
             let config = self.tasks[idx];
             let dfs = match config.build() {
                 Ok(dfs) => dfs,
@@ -339,18 +325,15 @@ pub fn explore_with_session(
     let tasks = space.enumerate();
     let enumerated = tasks.len();
     let threads = cfg.threads.max(1).min(tasks.len().max(1));
-    let shards: Vec<Mutex<VecDeque<usize>>> =
-        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, shard) in (0..tasks.len()).zip((0..threads).cycle()) {
-        shards[shard].lock().expect("shard").push_back(i);
-    }
+    let queues = StealQueues::new(threads);
+    queues.deal(0..tasks.len());
     let shared = Shared {
         space,
         cost,
         cfg,
         session,
         tasks,
-        shards,
+        queues,
         siblings: Mutex::new(HashMap::new()),
         dominators: Mutex::new(HashMap::new()),
         full_evaluations: AtomicUsize::new(0),
@@ -361,29 +344,12 @@ pub fn explore_with_session(
         check_violations: AtomicUsize::new(0),
     };
 
-    let mut evaluations: Vec<Evaluation> = if threads == 1 {
+    let mut evaluations: Vec<Evaluation> = rap_pool::run_workers(threads, |me| {
         let mut out = Vec::new();
-        shared.run_worker(0, &mut out);
+        shared.run_worker(me, &mut out);
         out
-    } else {
-        let mut sharded: Vec<Vec<Evaluation>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|me| {
-                    let shared = &shared;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        shared.run_worker(me, &mut out);
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                sharded.push(h.join().expect("worker panicked"));
-            }
-        });
-        sharded.concat()
-    };
+    })
+    .concat();
 
     evaluations.sort_by(|a, b| (a.config.workload, &a.label).cmp(&(b.config.workload, &b.label)));
 

@@ -6,7 +6,10 @@
 //! functional properties are expressed in the Reach-style language of the
 //! `rap-reach` crate and evaluated over the same state space.
 
-use crate::reachability::{explore_truncated, ExploreConfig, StateId, StateSpace};
+use crate::reachability::{
+    explore_quotient_truncated, explore_truncated, ExploreConfig, StateId, StateSpace,
+};
+use crate::symmetry::Symmetry;
 use crate::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// A reachable deadlock: a state with no enabled transitions.
@@ -74,6 +77,7 @@ pub fn find_persistence_violations(
     // every ordered pair of concurrently enabled transitions, so avoiding a
     // Marking materialisation per probe matters on large spaces
     let inc = crate::engine::Incidence::from_net(net);
+    let mut after_words = vec![0u64; space.word_count()];
     let mut out = Vec::new();
     for s in space.states() {
         let succs = space.successors(s);
@@ -81,11 +85,12 @@ pub fn find_persistence_violations(
             continue;
         }
         for &(disabler, after) in succs {
+            space.fill_marking_words(after, &mut after_words);
             for &(enabled, _) in succs {
                 if enabled == disabler {
                     continue;
                 }
-                if inc.is_enabled(enabled, space.marking_words(after)) {
+                if inc.is_enabled(enabled, &after_words) {
                     continue;
                 }
                 if allowed_conflicts(enabled, disabler) {
@@ -112,9 +117,13 @@ pub enum QuickVerdict {
     /// A genuine violation was found (violations found within a truncated
     /// prefix are still real).
     Violated,
-    /// No violation found, but the budget truncated the exploration — the
-    /// property holds on the explored prefix only.
-    Inconclusive,
+    /// No violation found, but the state budget truncated the exploration —
+    /// the property holds on the explored prefix only. Carries the budget
+    /// that was hit so callers can report (or retry past) the exact bound.
+    Inconclusive {
+        /// The `max_states` budget that stopped exploration.
+        budget: usize,
+    },
 }
 
 impl QuickVerdict {
@@ -177,7 +186,66 @@ impl QuickCheck {
 /// [`QuickVerdict::Inconclusive`] instead of over-claiming.
 #[must_use]
 pub fn quick_check(net: &PetriNet, pairs: &[(PlaceId, PlaceId)], max_states: usize) -> QuickCheck {
-    let space = explore_truncated(net, ExploreConfig { max_states });
+    let space = explore_truncated(
+        net,
+        ExploreConfig {
+            max_states,
+            ..ExploreConfig::default()
+        },
+    );
+    verdicts_over(net, &space, pairs, max_states)
+}
+
+/// Symmetry-reduced [`quick_check`]: explores the rotation *quotient* under
+/// `sym` (up to `sym.order()`× fewer states for the same verdicts) and
+/// checks the same two properties on the representatives.
+///
+/// Soundness: deadlock-freedom is orbit-invariant (a representative is dead
+/// iff every member of its orbit is), and the engine's quotient discovers
+/// exactly the canonical image of the reachable set, so the deadlock
+/// verdict transfers unchanged. The 1-safety verdict over `pairs` transfers
+/// **iff the pair set is closed under the symmetry** — this function
+/// panics otherwise rather than return an unsound verdict (DFS wagging
+/// replicates every variable's complementary pair into each way, so the
+/// pair sets it produces are closed by construction).
+///
+/// Counterexamples are made concrete before being reported: the attached
+/// deadlock trace replays on the original net from its real initial
+/// marking ([`StateSpace::concrete_trace_to`]).
+///
+/// # Panics
+///
+/// When `pairs` is not closed under `sym` (see above).
+#[must_use]
+pub fn quick_check_quotient(
+    net: &PetriNet,
+    pairs: &[(PlaceId, PlaceId)],
+    max_states: usize,
+    sym: &Symmetry,
+) -> QuickCheck {
+    assert!(
+        sym.pairs_closed(pairs),
+        "complementary-pair set is not closed under the symmetry; the quotient verdict would be unsound"
+    );
+    let ssym = sym.state_symmetry();
+    let space = explore_quotient_truncated(
+        net,
+        ExploreConfig {
+            max_states,
+            ..ExploreConfig::default()
+        },
+        &ssym,
+    );
+    verdicts_over(net, &space, pairs, max_states)
+}
+
+/// Shared verdict pass of [`quick_check`] / [`quick_check_quotient`].
+fn verdicts_over(
+    net: &PetriNet,
+    space: &StateSpace,
+    pairs: &[(PlaceId, PlaceId)],
+    max_states: usize,
+) -> QuickCheck {
     let truncated = space.is_truncated();
 
     let mut deadlock = None;
@@ -187,13 +255,17 @@ pub fn quick_check(net: &PetriNet, pairs: &[(PlaceId, PlaceId)], max_states: usi
         if !space.successors(s).is_empty() {
             continue;
         }
+        // deadness is re-verified on the net itself (a truncated frontier
+        // state has no recorded successors but is not dead); for a quotient
+        // space the representative's marking is checked — deadness is
+        // orbit-invariant, so this equals checking the concrete member
         space.fill_marking(s, &mut marking);
         net.enabled_transitions_into(&marking, &mut enabled);
         if enabled.is_empty() {
             deadlock = Some(Deadlock {
                 state: s,
-                marking: marking.clone(),
-                trace: space.trace_to(s),
+                marking: space.concrete_marking(s),
+                trace: space.concrete_trace_to(s),
             });
             break;
         }
@@ -201,14 +273,14 @@ pub fn quick_check(net: &PetriNet, pairs: &[(PlaceId, PlaceId)], max_states: usi
     let deadlock_free = match (&deadlock, truncated) {
         (Some(_), _) => QuickVerdict::Violated,
         (None, false) => QuickVerdict::Holds,
-        (None, true) => QuickVerdict::Inconclusive,
+        (None, true) => QuickVerdict::Inconclusive { budget: max_states },
     };
 
-    let unsafe_witness = check_complementary_pairs(&space, pairs);
+    let unsafe_witness = check_complementary_pairs(space, pairs);
     let safe = match (&unsafe_witness, truncated) {
         (Some(_), _) => QuickVerdict::Violated,
         (None, false) => QuickVerdict::Holds,
-        (None, true) => QuickVerdict::Inconclusive,
+        (None, true) => QuickVerdict::Inconclusive { budget: max_states },
     };
 
     QuickCheck {
@@ -232,9 +304,13 @@ pub fn check_complementary_pairs(
     space: &StateSpace,
     pairs: &[(crate::PlaceId, crate::PlaceId)],
 ) -> Option<(StateId, usize)> {
+    let mut words = vec![0u64; space.word_count()];
     for s in space.states() {
+        space.fill_marking_words(s, &mut words);
         for (i, &(p0, p1)) in pairs.iter().enumerate() {
-            if space.is_marked(s, p0) == space.is_marked(s, p1) {
+            if crate::engine::get_bit(&words, p0.index())
+                == crate::engine::get_bit(&words, p1.index())
+            {
                 return Some((s, i));
             }
         }
@@ -397,15 +473,70 @@ mod tests {
         let (net, _, _) = dead_end_net();
         let qc = quick_check(&net, &[], 2);
         assert!(qc.truncated);
-        assert_eq!(qc.deadlock_free, QuickVerdict::Inconclusive);
+        assert_eq!(qc.deadlock_free, QuickVerdict::Inconclusive { budget: 2 });
         assert!(qc.deadlock.is_none());
         assert!(qc.no_violation() && !qc.is_clean());
 
-        // a live ring truncated mid-way: inconclusive, not violated
+        // a live ring truncated mid-way: inconclusive, carrying the budget
+        // that was hit, not violated
         let qc = quick_check(&live_ring_net(8), &[], 3);
         assert!(qc.truncated);
-        assert_eq!(qc.deadlock_free, QuickVerdict::Inconclusive);
-        assert_eq!(qc.safe, QuickVerdict::Inconclusive);
+        assert_eq!(qc.deadlock_free, QuickVerdict::Inconclusive { budget: 3 });
+        assert_eq!(qc.safe, QuickVerdict::Inconclusive { budget: 3 });
+    }
+
+    #[test]
+    fn quotient_quick_check_agrees_with_full_on_a_symmetric_ring() {
+        let net = live_ring_net(6);
+        let perm: Vec<u32> = (0..6u32).map(|i| (i + 1) % 6).collect();
+        let sym = Symmetry::new(&net, perm).unwrap();
+        let full = quick_check(&net, &[], 1_000);
+        let quo = quick_check_quotient(&net, &[], 1_000, &sym);
+        assert_eq!(full.deadlock_free, quo.deadlock_free);
+        assert_eq!(full.safe, quo.safe);
+        assert_eq!(full.states, 6);
+        assert_eq!(quo.states, 1, "all 6 token positions are one orbit");
+    }
+
+    #[test]
+    fn quotient_deadlock_traces_are_concrete() {
+        // two independent dead-end chains a->b (way 0 / way 1), swap-symmetric
+        let mut net = PetriNet::new();
+        let a0 = net.add_place("a0", true);
+        let b0 = net.add_place("b0", false);
+        let a1 = net.add_place("a1", true);
+        let b1 = net.add_place("b1", false);
+        let t0 = net.add_transition("t0");
+        net.consume(t0, a0);
+        net.produce(t0, b0);
+        let t1 = net.add_transition("t1");
+        net.consume(t1, a1);
+        net.produce(t1, b1);
+        // generator: swap ways (a0<->a1, b0<->b1)
+        let sym = Symmetry::new(&net, vec![2, 3, 0, 1]).unwrap();
+        assert_eq!(sym.order(), 2);
+        let qc = quick_check_quotient(&net, &[], 1_000, &sym);
+        assert_eq!(qc.deadlock_free, QuickVerdict::Violated);
+        let dl = qc.deadlock.expect("deadlock witness");
+        // the concrete trace replays on the original net into the concrete
+        // dead marking
+        let mut m = net.initial_marking();
+        for t in &dl.trace {
+            m = net.fire(*t, &m).unwrap();
+        }
+        assert_eq!(m, dl.marking);
+        assert!(net.enabled_transitions(&m).is_empty());
+        let _ = (a0, b0, a1, b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not closed under the symmetry")]
+    fn quotient_rejects_unclosed_pair_sets() {
+        let net = live_ring_net(4);
+        let perm: Vec<u32> = (0..4u32).map(|i| (i + 1) % 4).collect();
+        let sym = Symmetry::new(&net, perm).unwrap();
+        let p = |i: usize| PlaceId::from_index(i);
+        let _ = quick_check_quotient(&net, &[(p(0), p(1))], 1_000, &sym);
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Sharded concurrent dedup index for the parallel state-space engine.
+//!
+//! A fixed power-of-two array of shards, each an open-addressing table
+//! behind its own mutex. A state's shard is selected from the *high* bits
+//! of its hash (multiply-shift prefix routing), its slot within the shard
+//! from the low bits, so the two indices are independent. Workers of one
+//! BFS level probe and insert concurrently; between levels the single
+//! committing thread assigns dense ids to the *pending* entries (states
+//! first seen this level) in canonical order.
+//!
+//! Correctness under concurrency rests on two invariants:
+//!
+//! * **Pending entries own their bytes.** A pending state's words and
+//!   enabled set are copied into per-shard arenas *under the shard lock* at
+//!   insertion, so any later probe — from any worker — compares against
+//!   stable memory it can reach while holding that same lock. Nothing a
+//!   worker writes outside the lock is ever read by another worker.
+//! * **Committed entries are frozen.** Ids tagged committed refer to states
+//!   already published in the (immutable-during-expansion) graph; the probe
+//!   calls back into the caller to reconstruct and compare them. The graph
+//!   is only mutated by the committing thread, strictly between levels.
+//!
+//! Hash collisions are therefore *never* trusted: every positive lookup is
+//! confirmed by a full word compare, either against the pending arena or
+//! through the reconstruction callback. The schedule-stress test
+//! (`crates/petri/tests/shard_stress.rs`) hammers a single shard with
+//! deliberately colliding hashes from many threads and checks that every
+//! distinct state is inserted exactly once and every duplicate resolves to
+//! that one entry.
+
+use std::sync::Mutex;
+
+/// `tag` value of a free slot.
+const EMPTY: u32 = u32::MAX;
+/// High bit of `tag`: set = committed id, clear = pending index.
+const COMMITTED: u32 = 1 << 31;
+/// `assigned` value of a pending entry that has no id yet.
+const UNASSIGNED: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Slot {
+    hash: u64,
+    tag: u32,
+}
+
+struct PendingEntry {
+    /// Current slot of this entry in `slots` (kept up to date on rehash).
+    slot: u32,
+    /// Dense id assigned at commit, or [`UNASSIGNED`].
+    assigned: u32,
+}
+
+struct Shard {
+    slots: Vec<Slot>,
+    mask: usize,
+    committed: usize,
+    pending: Vec<PendingEntry>,
+    /// Pending state words, `stride` per entry.
+    words: Vec<u64>,
+    /// Pending enabled sets, `astride` per entry.
+    enabled: Vec<u64>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        let cap = 64;
+        Shard {
+            slots: vec![
+                Slot {
+                    hash: 0,
+                    tag: EMPTY
+                };
+                cap
+            ],
+            mask: cap - 1,
+            committed: 0,
+            pending: Vec::new(),
+            words: Vec::new(),
+            enabled: Vec::new(),
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Slot {
+                    hash: 0,
+                    tag: EMPTY
+                };
+                cap
+            ],
+        );
+        self.mask = cap - 1;
+        for slot in old {
+            if slot.tag == EMPTY {
+                continue;
+            }
+            let mut i = (slot.hash as usize) & self.mask;
+            while self.slots[i].tag != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = slot;
+            if slot.tag & COMMITTED == 0 {
+                self.pending[slot.tag as usize].slot = i as u32;
+            }
+        }
+    }
+}
+
+/// A reference to a pending (not yet committed) entry of a [`ShardIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    shard: u32,
+    idx: u32,
+}
+
+/// Result of [`ShardIndex::probe_or_insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The state is already committed under this dense id.
+    Committed(u32),
+    /// The state was already pending (inserted earlier, by any worker).
+    Pending(Handle),
+    /// The state was not present; this call inserted it as pending.
+    Inserted(Handle),
+}
+
+/// The sharded dedup index. See the module docs for the concurrency
+/// contract.
+pub struct ShardIndex {
+    shards: Vec<Mutex<Shard>>,
+    stride: usize,
+    astride: usize,
+}
+
+impl ShardIndex {
+    /// Creates an index with `shards` shards (rounded up to a power of two)
+    /// over states of `stride` words and enabled sets of `astride` words.
+    #[must_use]
+    pub fn new(shards: usize, stride: usize, astride: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardIndex {
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            stride,
+            astride,
+        }
+    }
+
+    /// The shard routing: a multiply-shift range partition of the hash, i.e.
+    /// the top `log2(shards)` bits.
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        ((u128::from(hash) * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// Looks `cand` (hashing to `hash`) up, inserting it as pending when
+    /// absent. Safe to call from many workers concurrently.
+    ///
+    /// `eq_committed(id)` must report whether committed state `id` equals
+    /// `cand` (the caller reconstructs it from the frozen graph); it runs
+    /// under the shard lock. `fill_enabled(out)` is called exactly once, only
+    /// on insertion, to produce the enabled set stored alongside the state.
+    pub fn probe_or_insert(
+        &self,
+        hash: u64,
+        cand: &[u64],
+        mut eq_committed: impl FnMut(u32) -> bool,
+        fill_enabled: impl FnOnce(&mut [u64]),
+    ) -> Probe {
+        debug_assert_eq!(cand.len(), self.stride);
+        let si = self.shard_of(hash);
+        let mut sh = self.shards[si].lock().expect("shard index");
+        let mut i = (hash as usize) & sh.mask;
+        loop {
+            let slot = sh.slots[i];
+            if slot.tag == EMPTY {
+                break;
+            }
+            if slot.hash == hash {
+                if slot.tag & COMMITTED != 0 {
+                    let id = slot.tag & !COMMITTED;
+                    if eq_committed(id) {
+                        return Probe::Committed(id);
+                    }
+                } else {
+                    let p = slot.tag as usize;
+                    if &sh.words[p * self.stride..(p + 1) * self.stride] == cand {
+                        return Probe::Pending(Handle {
+                            shard: si as u32,
+                            idx: slot.tag,
+                        });
+                    }
+                }
+            }
+            i = (i + 1) & sh.mask;
+        }
+        // not present: insert as pending (50% max load, like the serial table)
+        if (sh.committed + sh.pending.len() + 1) * 2 > sh.slots.len() {
+            sh.grow();
+            i = (hash as usize) & sh.mask;
+            while sh.slots[i].tag != EMPTY {
+                i = (i + 1) & sh.mask;
+            }
+        }
+        let idx = sh.pending.len() as u32;
+        sh.words.extend_from_slice(cand);
+        let en_base = sh.enabled.len();
+        sh.enabled.resize(en_base + self.astride, 0);
+        fill_enabled(&mut sh.enabled[en_base..]);
+        sh.pending.push(PendingEntry {
+            slot: i as u32,
+            assigned: UNASSIGNED,
+        });
+        sh.slots[i] = Slot { hash, tag: idx };
+        Probe::Inserted(Handle {
+            shard: si as u32,
+            idx,
+        })
+    }
+
+    /// The id assigned to pending entry `h` at commit, if any.
+    pub fn assigned(&mut self, h: Handle) -> Option<u32> {
+        let sh = self.shards[h.shard as usize]
+            .get_mut()
+            .expect("shard index");
+        match sh.pending[h.idx as usize].assigned {
+            UNASSIGNED => None,
+            id => Some(id),
+        }
+    }
+
+    /// The state words and enabled set of pending entry `h`.
+    #[must_use]
+    pub fn pending_data(&mut self, h: Handle) -> (&[u64], &[u64]) {
+        let sh = self.shards[h.shard as usize]
+            .get_mut()
+            .expect("shard index");
+        let p = h.idx as usize;
+        (
+            &sh.words[p * self.stride..(p + 1) * self.stride],
+            &sh.enabled[p * self.astride..(p + 1) * self.astride],
+        )
+    }
+
+    /// Commits pending entry `h` under dense id `id`: later probes resolve
+    /// it through `eq_committed`. Commit-phase only (single thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` was already assigned or `id` collides with the
+    /// committed tag space.
+    pub fn assign(&mut self, h: Handle, id: u32) {
+        assert_eq!(id & COMMITTED, 0, "dense id overflows the tag space");
+        let sh = self.shards[h.shard as usize]
+            .get_mut()
+            .expect("shard index");
+        let e = &mut sh.pending[h.idx as usize];
+        assert_eq!(e.assigned, UNASSIGNED, "pending entry committed twice");
+        e.assigned = id;
+        sh.slots[e.slot as usize].tag = id | COMMITTED;
+        sh.committed += 1;
+    }
+
+    /// Drops the pending arenas after a fully committed level. Every pending
+    /// entry must have been assigned (the engine commits a level atomically;
+    /// on truncation the index is abandoned instead).
+    pub fn clear_pending(&mut self) {
+        for shard in &mut self.shards {
+            let sh = shard.get_mut().expect("shard index");
+            debug_assert!(sh.pending.iter().all(|p| p.assigned != UNASSIGNED));
+            sh.pending.clear();
+            sh.words.clear();
+            sh.enabled.clear();
+        }
+    }
+
+    /// Total pending entries across all shards (test support).
+    #[must_use]
+    pub fn pending_len(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.get_mut().expect("shard index").pending.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_probe_finds_pending() {
+        let mut idx = ShardIndex::new(4, 2, 1);
+        let a = [1u64, 2];
+        let p = idx.probe_or_insert(42, &a, |_| false, |en| en[0] = 7);
+        let Probe::Inserted(h) = p else {
+            panic!("expected insert, got {p:?}")
+        };
+        assert_eq!(
+            idx.probe_or_insert(42, &a, |_| false, |_| panic!("no refill")),
+            Probe::Pending(h)
+        );
+        let (w, en) = idx.pending_data(h);
+        assert_eq!(w, &a);
+        assert_eq!(en, &[7]);
+    }
+
+    #[test]
+    fn colliding_hashes_stay_distinct() {
+        let mut idx = ShardIndex::new(1, 1, 1);
+        let mut handles = Vec::new();
+        for v in 0..100u64 {
+            match idx.probe_or_insert(0, &[v], |_| false, |_| {}) {
+                Probe::Inserted(h) => handles.push(h),
+                p => panic!("distinct state deduped: {p:?}"),
+            }
+        }
+        assert_eq!(idx.pending_len(), 100);
+        for (v, &h) in handles.iter().enumerate() {
+            assert_eq!(
+                idx.probe_or_insert(0, &[v as u64], |_| false, |_| {}),
+                Probe::Pending(h)
+            );
+        }
+    }
+
+    #[test]
+    fn commit_retags_and_probe_consults_caller() {
+        let mut idx = ShardIndex::new(2, 1, 1);
+        let Probe::Inserted(h) = idx.probe_or_insert(9, &[5], |_| false, |_| {}) else {
+            panic!()
+        };
+        assert_eq!(idx.assigned(h), None);
+        idx.assign(h, 3);
+        assert_eq!(idx.assigned(h), Some(3));
+        idx.clear_pending();
+        // now the probe must ask the graph-side comparator for id 3
+        let mut asked = Vec::new();
+        let p = idx.probe_or_insert(
+            9,
+            &[5],
+            |id| {
+                asked.push(id);
+                true
+            },
+            |_| {},
+        );
+        assert_eq!(p, Probe::Committed(3));
+        assert_eq!(asked, vec![3]);
+        // same hash, different words: comparator says no, fresh insert
+        let p = idx.probe_or_insert(9, &[6], |_| false, |_| {});
+        assert!(matches!(p, Probe::Inserted(_)));
+    }
+}

@@ -54,6 +54,7 @@ pub mod dot;
 pub mod engine;
 pub mod invariants;
 pub mod reachability;
+pub mod symmetry;
 
 pub use error::PetriError;
 pub use ids::{PlaceId, TransitionId};

@@ -8,30 +8,51 @@
 //! Reach-predicate queries, standing in for the paper's MPSAT backend.
 //!
 //! Since PR 2 the traversal runs on the shared incremental engine of
-//! [`crate::engine`]: markings live word-packed in a dense arena, the dedup
-//! index hashes arena slices instead of cloned [`Marking`]s, and after each
-//! firing only the transitions whose preset intersects the changed places are
-//! re-checked for enabledness. The original explorer is retained as
-//! [`explore_naive_truncated`] — it is the reference implementation the
-//! engine is property-tested against, and the baseline the
-//! `state_space_scaling` benchmark measures speedups from.
+//! [`crate::engine`]; this PR moves the default path onto the *parallel*
+//! engine ([`crate::engine::explore_parallel`]) with delta-compressed state
+//! storage, which is observationally identical to the serial engine at
+//! every thread count (see the engine docs for the determinism contract).
+//! Two reference implementations are retained and differentially tested
+//! against it: the serial engine ([`explore_serial_truncated`]) and the
+//! original pre-engine explorer ([`explore_naive_truncated`]).
+//!
+//! With a cyclic symmetry of the net (wagged replicas — see
+//! [`crate::symmetry`]), [`explore_quotient_truncated`] explores the
+//! rotation *quotient* instead: states are canonicalized to the
+//! lexicographically-least rotation before dedup, cutting the space by up
+//! to the group order while preserving orbit-invariant verdicts. Concrete
+//! (replayable) traces are recovered via [`StateSpace::concrete_trace_to`].
 
-use crate::engine::{self, ExploredGraph, NetSystem, NO_PARENT};
+use crate::engine::{self, EngineConfig, ExploredGraph, NetSystem, StateSymmetry, NO_PARENT};
 use crate::{Marking, PetriError, PetriNet, TransitionId};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
-/// Exploration limits.
+/// Exploration limits and parallelism.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreConfig {
     /// Maximum number of distinct states to store before giving up.
     pub max_states: usize,
+    /// Worker threads for the parallel engine; `0` = one per available core
+    /// (capped at 8). Results are identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
         ExploreConfig {
             max_states: 2_000_000,
+            threads: 0,
+        }
+    }
+}
+
+impl ExploreConfig {
+    fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            max_states: self.max_states,
+            threads: self.threads,
+            anchor_interval: 0,
         }
     }
 }
@@ -50,88 +71,118 @@ impl StateId {
 
 /// The reachable state space of a net.
 ///
-/// Markings are stored word-packed in a dense arena; [`StateSpace::marking`]
-/// materialises a [`Marking`] on demand, and [`StateSpace::fill_marking`]
-/// does so into a caller-owned buffer for allocation-free scans.
+/// Markings live delta-compressed in the underlying [`ExploredGraph`]:
+/// [`StateSpace::marking`] materialises a [`Marking`] on demand, and
+/// [`StateSpace::fill_marking`] / [`StateSpace::fill_marking_words`]
+/// reconstruct into caller-owned buffers for allocation-free scans
+/// (reconstruction walks the XOR-delta chain to the nearest anchor — cheap,
+/// but no longer a borrow, which is why there is no `marking_words`
+/// accessor returning a slice).
 #[derive(Debug, Clone)]
 pub struct StateSpace {
     places: usize,
-    stride: usize,
-    arena: Vec<u64>,
-    /// For each state: `(predecessor, fired transition)`; the initial state
-    /// has predecessor [`NO_PARENT`].
-    parents: Vec<(u32, u32)>,
-    succ_off: Vec<u32>,
+    graph: ExploredGraph,
     succ: Vec<(TransitionId, StateId)>,
-    /// Whether exploration stopped early because of the state budget.
-    truncated: bool,
+    /// Present when this is a quotient space: the symmetry that was used to
+    /// canonicalize states, needed to make traces/markings concrete again.
+    symmetry: Option<StateSymmetry>,
 }
 
 impl StateSpace {
-    fn from_graph(g: ExploredGraph, places: usize) -> Self {
-        let succ = g
-            .succ
-            .iter()
-            .map(|&(a, s)| (TransitionId::from_index(a as usize), StateId(s)))
+    fn from_graph(mut g: ExploredGraph, places: usize, symmetry: Option<StateSymmetry>) -> Self {
+        let succ = std::mem::take(&mut g.succ)
+            .into_iter()
+            .map(|(a, s)| (TransitionId::from_index(a as usize), StateId(s)))
             .collect();
         StateSpace {
             places,
-            stride: g.stride,
-            arena: g.arena,
-            parents: g.parents,
-            succ_off: g.succ_off,
+            graph: g,
             succ,
-            truncated: g.truncated,
+            symmetry,
         }
     }
 
-    /// Number of reachable states discovered.
+    /// Number of reachable states discovered (orbit representatives for a
+    /// quotient space).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.parents.len()
+        self.graph.len()
     }
 
     /// `true` when the net has no reachable states (impossible: the initial
     /// marking always exists), kept for `len`/`is_empty` pairing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.parents.is_empty()
+        self.graph.is_empty()
     }
 
     /// Did exploration stop early because of [`ExploreConfig::max_states`]?
     #[must_use]
     pub fn is_truncated(&self) -> bool {
-        self.truncated
+        self.graph.is_truncated()
     }
 
-    /// The marking of `state`, materialised from the arena.
+    /// How exploration ended (carries the budget on truncation).
+    #[must_use]
+    pub fn outcome(&self) -> engine::ExploreOutcome {
+        self.graph.outcome()
+    }
+
+    /// The symmetry this space is a quotient under, if any.
+    #[must_use]
+    pub fn symmetry(&self) -> Option<&StateSymmetry> {
+        self.symmetry.as_ref()
+    }
+
+    /// Words per packed marking — the scratch width for
+    /// [`StateSpace::fill_marking_words`].
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.graph.stride()
+    }
+
+    /// The marking of `state`, materialised from the compressed store.
     #[must_use]
     pub fn marking(&self, state: StateId) -> Marking {
-        let words = self.places.div_ceil(64);
-        let base = state.index() * self.stride;
-        Marking::from_words(self.arena[base..base + words].to_vec(), self.places)
+        let mut words = self.graph.state_vec(state.index());
+        words.truncate(self.places.div_ceil(64));
+        Marking::from_words(words, self.places)
     }
 
-    /// Copies the marking of `state` into `out` without allocating.
+    /// Reconstructs the marking of `state` into `out` without allocating.
     ///
     /// # Panics
     ///
     /// Panics when `out` does not cover exactly this net's places.
     pub fn fill_marking(&self, state: StateId, out: &mut Marking) {
         assert_eq!(out.len(), self.places, "marking buffer has the wrong width");
-        out.copy_from_words(&self.arena[state.index() * self.stride..]);
+        let w = out.words_mut();
+        if w.len() == self.graph.stride() {
+            self.graph.fill_state(state.index(), w);
+        } else {
+            // zero-place nets: the graph pads to one word, the marking to none
+            let mut tmp = vec![0u64; self.graph.stride()];
+            self.graph.fill_state(state.index(), &mut tmp);
+            out.copy_from_words(&tmp);
+        }
     }
 
-    /// The word-packed marking bits of `state` (see [`crate::engine`]).
-    #[must_use]
-    pub fn marking_words(&self, state: StateId) -> &[u64] {
-        &self.arena[state.index() * self.stride..(state.index() + 1) * self.stride]
+    /// Reconstructs the word-packed marking bits of `state` into `out`
+    /// (exactly [`StateSpace::word_count`] words).
+    pub fn fill_marking_words(&self, state: StateId, out: &mut [u64]) {
+        self.graph.fill_state(state.index(), out);
     }
 
-    /// Is `place` marked in `state`? Cheaper than materialising the marking.
+    /// Is `place` marked in `state`?
+    ///
+    /// Reconstructs the state; in hot loops prefer one
+    /// [`StateSpace::fill_marking_words`] per state and [`engine::get_bit`]
+    /// per place.
     #[must_use]
     pub fn is_marked(&self, state: StateId, place: crate::PlaceId) -> bool {
-        engine::get_bit(self.marking_words(state), place.index())
+        let mut tmp = vec![0u64; self.graph.stride()];
+        self.graph.fill_state(state.index(), &mut tmp);
+        engine::get_bit(&tmp, place.index())
     }
 
     /// The initial state.
@@ -142,28 +193,96 @@ impl StateSpace {
 
     /// Iterates over all states.
     pub fn states(&self) -> impl Iterator<Item = StateId> {
-        (0..self.parents.len() as u32).map(StateId)
+        (0..self.graph.len() as u32).map(StateId)
     }
 
     /// Outgoing edges `(transition, successor)` of `state`.
     #[must_use]
     pub fn successors(&self, state: StateId) -> &[(TransitionId, StateId)] {
         let i = state.index();
-        &self.succ[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+        &self.succ[self.graph.succ_off[i] as usize..self.graph.succ_off[i + 1] as usize]
     }
 
     /// Reconstructs the firing sequence from the initial state to `state`.
+    ///
+    /// For a quotient space this trace is over orbit *representatives* — it
+    /// replays in the quotient, not necessarily from the net's concrete
+    /// initial marking. Use [`StateSpace::concrete_trace_to`] for a firing
+    /// sequence of the original net.
     #[must_use]
     pub fn trace_to(&self, state: StateId) -> Vec<TransitionId> {
-        let mut rev = Vec::new();
-        let mut cur = state.index();
-        while self.parents[cur].0 != NO_PARENT {
-            let (prev, t) = self.parents[cur];
-            rev.push(TransitionId::from_index(t as usize));
-            cur = prev as usize;
+        self.graph
+            .trace_to(state.index())
+            .into_iter()
+            .map(|a| TransitionId::from_index(a as usize))
+            .collect()
+    }
+
+    /// The symmetry rotation applied when `state` was canonicalized at
+    /// discovery (always 0 outside quotient spaces).
+    #[must_use]
+    pub fn rotation(&self, state: StateId) -> u32 {
+        self.graph.rotation(state.index())
+    }
+
+    /// A firing sequence of the *original* net from its concrete initial
+    /// marking to a concrete member of `state`'s orbit (that member is
+    /// [`StateSpace::concrete_marking`]). Falls back to
+    /// [`StateSpace::trace_to`] when this is not a quotient space.
+    ///
+    /// Each quotient step fires action `a` in the representative's frame;
+    /// un-rotating by the cumulative rotation `R` accumulated along the
+    /// path (`b = g^-R(a)`, then `R +=` the step's canonicalization
+    /// rotation) yields the concrete firing — see the soundness argument in
+    /// the [`crate::engine`] docs.
+    #[must_use]
+    pub fn concrete_trace_to(&self, state: StateId) -> Vec<TransitionId> {
+        let Some(sym) = &self.symmetry else {
+            return self.trace_to(state);
+        };
+        let mut path = vec![state.index()];
+        while self.graph.parents[*path.last().expect("non-empty path")].0 != NO_PARENT {
+            path.push(self.graph.parents[*path.last().expect("non-empty path")].0 as usize);
         }
-        rev.reverse();
-        rev
+        path.reverse();
+        let order = sym.order() as u32;
+        let mut rot = self.graph.rotation(path[0]);
+        let mut out = Vec::with_capacity(path.len() - 1);
+        for &child in &path[1..] {
+            let a = self.graph.parents[child].1;
+            out.push(TransitionId::from_index(
+                sym.unrotate_action(rot, a) as usize
+            ));
+            rot = (rot + self.graph.rotation(child)) % order;
+        }
+        out
+    }
+
+    /// The concrete marking reached by [`StateSpace::concrete_trace_to`]:
+    /// the representative of `state` un-rotated by the cumulative rotation
+    /// along its discovery path. Equals [`StateSpace::marking`] outside
+    /// quotient spaces.
+    #[must_use]
+    pub fn concrete_marking(&self, state: StateId) -> Marking {
+        let Some(sym) = &self.symmetry else {
+            return self.marking(state);
+        };
+        let order = sym.order() as u32;
+        let mut rot = 0u32;
+        let mut cur = state.index();
+        loop {
+            rot = (rot + self.graph.rotation(cur)) % order;
+            let (p, _) = self.graph.parents[cur];
+            if p == NO_PARENT {
+                break;
+            }
+            cur = p as usize;
+        }
+        let rep = self.graph.state_vec(state.index());
+        let mut words = vec![0u64; self.graph.stride()];
+        sym.unapply_state(rot, &rep, &mut words);
+        words.truncate(self.places.div_ceil(64));
+        Marking::from_words(words, self.places)
     }
 
     /// Finds a state whose marking satisfies `pred`, if any, scanning in BFS
@@ -187,7 +306,7 @@ impl StateSpace {
 /// [`explore_truncated`] to get the partial state space instead.
 pub fn explore(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, PetriError> {
     let space = explore_truncated(net, config);
-    if space.truncated {
+    if space.is_truncated() {
         return Err(PetriError::StateBudgetExceeded {
             budget: config.max_states,
         });
@@ -200,9 +319,35 @@ pub fn explore(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, Petr
 /// exceeded.
 #[must_use]
 pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
+    let graph = engine::explore_parallel(|| NetSystem::new(net), &config.engine(), None);
+    StateSpace::from_graph(graph, net.place_count(), None)
+}
+
+/// Explores the rotation *quotient* of the net under `sym`: every successor
+/// is canonicalized to the lexicographically-least state of its orbit
+/// before dedup, so the result has one state per reachable orbit (up to
+/// `sym.order()`× fewer states). Orbit-invariant verdicts (deadlock
+/// freedom, 1-safety over symmetric pair sets) transfer — see
+/// [`crate::engine`] for the soundness argument and
+/// [`crate::symmetry::Symmetry`] for building/validating the permutations.
+#[must_use]
+pub fn explore_quotient_truncated(
+    net: &PetriNet,
+    config: ExploreConfig,
+    sym: &StateSymmetry,
+) -> StateSpace {
+    let graph = engine::explore_parallel(|| NetSystem::new(net), &config.engine(), Some(sym));
+    StateSpace::from_graph(graph, net.place_count(), Some(sym.clone()))
+}
+
+/// The serial engine (PR 2), kept as a reference implementation: the
+/// differential suite pins the parallel engine against it state-for-state
+/// at several thread counts. Use [`explore_truncated`] everywhere else.
+#[must_use]
+pub fn explore_serial_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
     let mut sys = NetSystem::new(net);
     let graph = engine::explore(&mut sys, config.max_states);
-    StateSpace::from_graph(graph, net.place_count())
+    StateSpace::from_graph(graph, net.place_count(), None)
 }
 
 /// The original (pre-engine) explorer: full transition scan per state,
@@ -218,7 +363,7 @@ pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
 /// Returns [`PetriError::StateBudgetExceeded`] like [`explore`].
 pub fn explore_naive(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, PetriError> {
     let space = explore_naive_truncated(net, config);
-    if space.truncated {
+    if space.is_truncated() {
         return Err(PetriError::StateBudgetExceeded {
             budget: config.max_states,
         });
@@ -233,12 +378,12 @@ pub fn explore_naive_truncated(net: &PetriNet, config: ExploreConfig) -> StateSp
     let mut index: HashMap<Marking, StateId> = HashMap::new();
     let mut markings = vec![m0.clone()];
     let mut parents: Vec<(u32, u32)> = vec![(NO_PARENT, 0)];
-    let mut successors: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
+    let mut successors: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
     index.insert(m0, StateId(0));
 
     let mut queue = VecDeque::new();
     queue.push_back(StateId(0));
-    let mut truncated = false;
+    let mut outcome = engine::ExploreOutcome::Complete;
 
     'bfs: while let Some(s) = queue.pop_front() {
         let marking = markings[s.index()].clone();
@@ -251,7 +396,9 @@ pub fn explore_naive_truncated(net: &PetriNet, config: ExploreConfig) -> StateSp
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
                     if markings.len() >= config.max_states {
-                        truncated = true;
+                        outcome = engine::ExploreOutcome::Truncated {
+                            limit: config.max_states,
+                        };
                         break 'bfs;
                     }
                     let id = StateId(markings.len() as u32);
@@ -263,11 +410,11 @@ pub fn explore_naive_truncated(net: &PetriNet, config: ExploreConfig) -> StateSp
                     id
                 }
             };
-            successors[s.index()].push((t, succ));
+            successors[s.index()].push((t.index() as u32, succ.0));
         }
     }
 
-    // pack into the arena representation shared with the engine path
+    // pack into the graph representation shared with the engine path
     let places = net.place_count();
     let stride = places.div_ceil(64).max(1);
     let mut arena = Vec::with_capacity(markings.len() * stride);
@@ -284,15 +431,8 @@ pub fn explore_naive_truncated(net: &PetriNet, config: ExploreConfig) -> StateSp
         succ_off.push(succ.len() as u32);
     }
 
-    StateSpace {
-        places,
-        stride,
-        arena,
-        parents,
-        succ_off,
-        succ,
-        truncated,
-    }
+    let graph = ExploredGraph::from_dense(stride, arena, parents, succ_off, succ, outcome);
+    StateSpace::from_graph(graph, places, None)
 }
 
 #[cfg(test)]
@@ -338,10 +478,27 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let net = ring(10);
-        let err = explore(&net, ExploreConfig { max_states: 3 }).unwrap_err();
+        let err = explore(
+            &net,
+            ExploreConfig {
+                max_states: 3,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, PetriError::StateBudgetExceeded { budget: 3 });
-        let partial = explore_truncated(&net, ExploreConfig { max_states: 3 });
+        let partial = explore_truncated(
+            &net,
+            ExploreConfig {
+                max_states: 3,
+                ..ExploreConfig::default()
+            },
+        );
         assert!(partial.is_truncated());
+        assert_eq!(
+            partial.outcome(),
+            engine::ExploreOutcome::Truncated { limit: 3 }
+        );
         assert_eq!(partial.len(), 3);
     }
 
@@ -384,15 +541,23 @@ mod tests {
     fn engine_matches_naive_reference() {
         for budget in [usize::MAX, 7, 3] {
             let net = ring(9);
-            let cfg = ExploreConfig { max_states: budget };
+            let cfg = ExploreConfig {
+                max_states: budget,
+                ..ExploreConfig::default()
+            };
             let a = explore_truncated(&net, cfg);
+            let s = explore_serial_truncated(&net, cfg);
             let b = explore_naive_truncated(&net, cfg);
             assert_eq!(a.len(), b.len());
+            assert_eq!(s.len(), b.len());
             assert_eq!(a.is_truncated(), b.is_truncated());
+            assert_eq!(s.is_truncated(), b.is_truncated());
             for (sa, sb) in a.states().zip(b.states()) {
                 assert_eq!(a.marking(sa), b.marking(sb));
                 assert_eq!(a.successors(sa), b.successors(sb));
                 assert_eq!(a.trace_to(sa), b.trace_to(sb));
+                assert_eq!(s.marking(sa), b.marking(sb));
+                assert_eq!(s.successors(sa), b.successors(sb));
             }
         }
     }

@@ -70,7 +70,7 @@ proptest! {
     /// Every state in the explored space is reachable by replaying its trace.
     #[test]
     fn traces_replay(net in arb_net(10, 8)) {
-        let space = explore_truncated(&net, ExploreConfig { max_states: 5_000 });
+        let space = explore_truncated(&net, ExploreConfig { max_states: 5_000, ..ExploreConfig::default() });
         for s in space.states() {
             let mut m = net.initial_marking();
             for t in space.trace_to(s) {
@@ -102,7 +102,7 @@ proptest! {
             net.consume(t, places[from]);
             net.produce(t, places[to]);
         }
-        let space = explore_truncated(&net, ExploreConfig { max_states: 5_000 });
+        let space = explore_truncated(&net, ExploreConfig { max_states: 5_000, ..ExploreConfig::default() });
         prop_assume!(!space.is_truncated());
         let n0 = token_count(&space.marking(space.initial()));
         for s in space.states() {
@@ -113,8 +113,8 @@ proptest! {
     /// Exploration is deterministic: two runs discover identical spaces.
     #[test]
     fn exploration_is_deterministic(net in arb_net(9, 9)) {
-        let a = explore_truncated(&net, ExploreConfig { max_states: 2_000 });
-        let b = explore_truncated(&net, ExploreConfig { max_states: 2_000 });
+        let a = explore_truncated(&net, ExploreConfig { max_states: 2_000, ..ExploreConfig::default() });
+        let b = explore_truncated(&net, ExploreConfig { max_states: 2_000, ..ExploreConfig::default() });
         prop_assert_eq!(a.len(), b.len());
         for (sa, sb) in a.states().zip(b.states()) {
             prop_assert_eq!(a.marking(sa), b.marking(sb));
@@ -128,7 +128,7 @@ proptest! {
     /// (the complementary-place firing discipline).
     #[test]
     fn explorer_preserves_one_safety(net in arb_net(10, 9)) {
-        let space = explore_truncated(&net, ExploreConfig { max_states: 4_000 });
+        let space = explore_truncated(&net, ExploreConfig { max_states: 4_000, ..ExploreConfig::default() });
         for s in space.states() {
             let m = space.marking(s);
             prop_assert_eq!(m.len(), net.place_count());
@@ -156,7 +156,7 @@ proptest! {
     /// trace reaches its dead marking, in which nothing is enabled.
     #[test]
     fn counterexample_traces_replay_to_offending_state(net in arb_net(9, 8)) {
-        let space = explore_truncated(&net, ExploreConfig { max_states: 4_000 });
+        let space = explore_truncated(&net, ExploreConfig { max_states: 4_000, ..ExploreConfig::default() });
         for dead in rap_petri::analysis::find_deadlocks(&space) {
             let mut m = net.initial_marking();
             for t in &dead.trace {

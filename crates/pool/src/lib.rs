@@ -1,0 +1,182 @@
+//! Minimal work-stealing task pool.
+//!
+//! Extracted from the `rap-dse` sweep driver (where the pattern was first
+//! proven) so that the parallel state-space engine of `rap-petri` can share
+//! the same machinery:
+//!
+//! * **Per-worker deques** ([`StealQueues`]) — tasks are dealt round-robin
+//!   into one `Mutex<VecDeque>` per worker; a worker pops its *own* deque
+//!   from the front and, when that runs dry, steals from the *back* of the
+//!   others. There is no global queue lock on the hot path, and stragglers
+//!   (big tasks dealt early) end up shared across workers.
+//! * **Scoped workers** ([`run_workers`]) — spawns `threads` scoped worker
+//!   threads and collects their results *in worker order*, so the caller
+//!   sees a deterministic result layout regardless of the schedule. One
+//!   thread runs inline (no spawn), which keeps single-threaded runs on the
+//!   exact same code path and makes them trivially deterministic.
+//!
+//! The pool deliberately stays dependency-free and dumb: no task priorities,
+//! no blocking park/unpark (workers exit when every deque is empty), no
+//! dynamic task injection after [`StealQueues::deal`]. Both current users
+//! dispatch a frozen batch of tasks per round — the DSE driver once per
+//! sweep, the state-space engine once per BFS level — and that shape keeps
+//! the correctness argument (and the schedule-stress tests) small.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Per-worker work-stealing deques over tasks of type `T`.
+///
+/// All methods take `&self`; the queues are safe to share across the scoped
+/// workers of [`run_workers`].
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueues<T> {
+    /// Creates empty deques for `workers` workers (at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        StealQueues {
+            shards: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deals `tasks` round-robin across the worker deques, in order: task
+    /// `i` lands at the back of deque `i % workers`.
+    pub fn deal(&self, tasks: impl IntoIterator<Item = T>) {
+        for (task, shard) in tasks.into_iter().zip((0..self.shards.len()).cycle()) {
+            self.shards[shard]
+                .lock()
+                .expect("pool shard")
+                .push_back(task);
+        }
+    }
+
+    /// Pushes a single task onto the back of `worker`'s own deque.
+    pub fn push(&self, worker: usize, task: T) {
+        self.shards[worker]
+            .lock()
+            .expect("pool shard")
+            .push_back(task);
+    }
+
+    /// The next task for worker `me`: its own deque front, else a steal from
+    /// the back of another worker's deque, else `None` (all deques empty).
+    ///
+    /// `None` is a termination signal only under the frozen-batch discipline
+    /// (no tasks pushed after dealing); with dynamic pushes a worker could
+    /// observe a transient empty state.
+    pub fn next(&self, me: usize) -> Option<T> {
+        if let Some(t) = self.shards[me].lock().expect("pool shard").pop_front() {
+            return Some(t);
+        }
+        let n = self.shards.len();
+        for off in 1..n {
+            if let Some(t) = self.shards[(me + off) % n]
+                .lock()
+                .expect("pool shard")
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `worker(0..threads)` on scoped threads and returns the results in
+/// worker order. With `threads <= 1` the single worker runs inline on the
+/// calling thread — same code path, no spawn.
+///
+/// # Panics
+///
+/// Propagates a panic of any worker.
+pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 {
+        return vec![worker(0)];
+    }
+    let mut out = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                let worker = &worker;
+                scope.spawn(move || worker(me))
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("pool worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn deal_and_drain_covers_every_task_once() {
+        for workers in [1usize, 2, 5] {
+            let q = StealQueues::new(workers);
+            q.deal(0..100usize);
+            let seen = AtomicUsize::new(0);
+            let counts = run_workers(workers, |me| {
+                let mut n = 0usize;
+                while let Some(_t) = q.next(me) {
+                    n += 1;
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+                n
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 100);
+            assert_eq!(counts.iter().sum::<usize>(), 100);
+        }
+    }
+
+    #[test]
+    fn single_worker_preserves_deal_order() {
+        let q = StealQueues::new(1);
+        q.deal(0..10usize);
+        let mut got = Vec::new();
+        while let Some(t) = q.next(0) {
+            got.push(t);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_reaches_tasks_of_idle_deques() {
+        // deal everything to worker 0's deque, drain from worker 1 only
+        let q = StealQueues::new(3);
+        for i in 0..7 {
+            q.push(0, i);
+        }
+        let mut got = Vec::new();
+        while let Some(t) = q.next(1) {
+            got.push(t);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_workers_results_are_in_worker_order() {
+        let r = run_workers(4, |me| me * 10);
+        assert_eq!(r, vec![0, 10, 20, 30]);
+    }
+}

@@ -74,7 +74,10 @@ fn arb_pipeline() -> impl Strategy<Value = Dfs> {
 /// Full equivalence of the two Petri explorers, including the replay of
 /// every counterexample (per-state shortest trace).
 fn assert_pn_equivalent(net: &PetriNet, max_states: usize) -> Result<(), TestCaseError> {
-    let cfg = ExploreConfig { max_states };
+    let cfg = ExploreConfig {
+        max_states,
+        ..ExploreConfig::default()
+    };
     let engine = explore_truncated(net, cfg);
     let naive = explore_naive_truncated(net, cfg);
     prop_assert_eq!(engine.len(), naive.len());
@@ -149,7 +152,7 @@ proptest! {
         let img = to_petri(&dfs);
         assert_pn_equivalent(&img.net, 3_000)?;
         assert_lts_equivalent(&dfs, 3_000)?;
-        let pn = explore_truncated(&img.net, ExploreConfig { max_states: 3_000 });
+        let pn = explore_truncated(&img.net, ExploreConfig { max_states: 3_000, ..ExploreConfig::default() });
         let lts = Lts::explore_truncated(&dfs, 3_000);
         if !pn.is_truncated() && !lts.is_truncated() {
             prop_assert_eq!(pn.len(), lts.len());
@@ -165,7 +168,10 @@ fn wagged_shapes_agree() {
         let w = wagged_pipeline(ways, 1, 1.0).unwrap();
         let img = to_petri(&w.dfs);
         let cap = 30_000;
-        let cfg = ExploreConfig { max_states: cap };
+        let cfg = ExploreConfig {
+            max_states: cap,
+            ..ExploreConfig::default()
+        };
         let engine = explore_truncated(&img.net, cfg);
         let naive = explore_naive_truncated(&img.net, cfg);
         assert_eq!(engine.len(), naive.len(), "ways={ways}");

@@ -1,0 +1,239 @@
+//! Parallel ↔ serial engine equivalence, property-tested.
+//!
+//! The parallel engine (`rap_petri::engine::explore_parallel`) claims to be
+//! *observationally identical* to the serial engine at every thread count:
+//! same state numbering, same edges, same truncation point, same witness
+//! traces — not just equal counts. This suite pins that claim on random
+//! inputs from both ends of the tool (raw random Petri nets and the paper's
+//! pipeline generators), at threads ∈ {1, 2, 8} plus whatever
+//! `RAP_TEST_THREADS` asks for, including under tiny truncation budgets and
+//! with forced delta-compression (`anchor_interval` > 1). It mirrors
+//! `engine_equivalence.rs`, which pinned the serial engine against the
+//! naive explorers in PR 2.
+
+use proptest::prelude::*;
+use rap::dfs::pipelines::{build_pipeline, PipelineSpec};
+use rap::dfs::wagging::wagged_pipeline;
+use rap::dfs::{to_petri, Dfs, Lts};
+use rap::petri::engine::EngineConfig;
+use rap::petri::reachability::{
+    explore_serial_truncated, explore_truncated, ExploreConfig, StateSpace,
+};
+use rap::petri::{PetriNet, PlaceId};
+
+/// Thread counts under test: the fixed {1, 2, 8} ladder plus the
+/// `RAP_TEST_THREADS` environment override (the CI matrix sets 2).
+fn thread_counts() -> Vec<usize> {
+    let mut ts = vec![1usize, 2, 8];
+    if let Some(t) = std::env::var("RAP_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+    {
+        if !ts.contains(&t) {
+            ts.push(t);
+        }
+    }
+    ts
+}
+
+/// Random net over `np` places and `nt` transitions with small arc lists.
+fn arb_net(np: usize, nt: usize) -> impl Strategy<Value = PetriNet> {
+    let place_marks = proptest::collection::vec(any::<bool>(), np);
+    let arcs = proptest::collection::vec(
+        (
+            proptest::collection::vec(0..np, 0..3), // consumes
+            proptest::collection::vec(0..np, 0..3), // produces
+            proptest::collection::vec(0..np, 0..2), // reads
+        ),
+        nt,
+    );
+    (place_marks, arcs).prop_map(move |(marks, arcs)| {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = marks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| net.add_place(format!("p{i}"), m))
+            .collect();
+        for (i, (cons, prod, reads)) in arcs.into_iter().enumerate() {
+            let t = net.add_transition(format!("t{i}"));
+            for c in cons {
+                net.consume(t, places[c]);
+            }
+            for p in prod {
+                net.produce(t, places[p]);
+            }
+            for r in reads {
+                net.read(t, places[r]);
+            }
+        }
+        net
+    })
+}
+
+/// Random paper-flow pipeline: 2–3 stages, random reconfigurability pattern
+/// and inclusion depth.
+fn arb_pipeline() -> impl Strategy<Value = Dfs> {
+    (
+        2usize..=3,
+        proptest::collection::vec(any::<bool>(), 3),
+        0usize..=3,
+    )
+        .prop_map(|(stages, reconf, depth)| {
+            let mut spec =
+                PipelineSpec::reconfigurable_depth(stages, depth.clamp(1, stages)).unwrap();
+            for (i, flag) in reconf.iter().take(stages).enumerate().skip(1) {
+                spec.reconfigurable[i] = *flag;
+            }
+            build_pipeline(&spec).expect("spec builds").dfs
+        })
+}
+
+/// Exact observational identity of two state spaces: numbering, markings,
+/// edges, traces, truncation.
+fn assert_spaces_identical(a: &StateSpace, b: &StateSpace, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len(), "{}: state count", ctx);
+    prop_assert_eq!(a.outcome(), b.outcome(), "{}: outcome", ctx);
+    for (sa, sb) in a.states().zip(b.states()) {
+        prop_assert_eq!(&a.marking(sa), &b.marking(sb), "{}: marking", ctx);
+        prop_assert_eq!(a.successors(sa), b.successors(sb), "{}: edges", ctx);
+        prop_assert_eq!(a.trace_to(sa), b.trace_to(sb), "{}: trace", ctx);
+    }
+    Ok(())
+}
+
+/// Parallel at every thread count ≡ serial, for one net and budget.
+fn assert_parallel_equivalent(net: &PetriNet, max_states: usize) -> Result<(), TestCaseError> {
+    let serial = explore_serial_truncated(
+        net,
+        ExploreConfig {
+            max_states,
+            ..ExploreConfig::default()
+        },
+    );
+    for threads in thread_counts() {
+        let par = explore_truncated(
+            net,
+            ExploreConfig {
+                max_states,
+                threads,
+            },
+        );
+        assert_spaces_identical(&par, &serial, &format!("threads={threads}"))?;
+    }
+    Ok(())
+}
+
+fn assert_lts_parallel_equivalent(dfs: &Dfs, max_states: usize) -> Result<(), TestCaseError> {
+    let serial = Lts::explore_serial_truncated(dfs, max_states);
+    for threads in thread_counts() {
+        // anchor_interval 3 forces delta-compressed storage into the
+        // comparison as well
+        for anchor_interval in [0usize, 3] {
+            let par = Lts::explore_with(
+                dfs,
+                &EngineConfig {
+                    max_states,
+                    threads,
+                    anchor_interval,
+                },
+                None,
+            );
+            let ctx = format!("threads={threads} anchors={anchor_interval}");
+            prop_assert_eq!(par.len(), serial.len(), "{}: state count", &ctx);
+            prop_assert_eq!(par.outcome(), serial.outcome(), "{}: outcome", &ctx);
+            for (sa, sb) in par.states().zip(serial.states()) {
+                prop_assert_eq!(par.state(sa), serial.state(sb), "{}: state", &ctx);
+                prop_assert_eq!(par.successors(sa), serial.successors(sb), "{}: edges", &ctx);
+                prop_assert_eq!(par.trace_to(sa), serial.trace_to(sb), "{}: trace", &ctx);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random raw nets: the level-synchronous commit makes the parallel
+    /// engine's ids, edges and traces identical to the serial engine's.
+    #[test]
+    fn random_nets_parallel_equals_serial(net in arb_net(10, 8)) {
+        assert_parallel_equivalent(&net, 3_000)?;
+    }
+
+    /// Random nets under tiny budgets: truncation must bite at exactly the
+    /// same state in every parallel configuration (the commit pass stops at
+    /// the same canonical point regardless of worker schedule).
+    #[test]
+    fn random_nets_truncate_identically(net in arb_net(9, 8)) {
+        for cap in [1usize, 2, 7, 40] {
+            assert_parallel_equivalent(&net, cap)?;
+        }
+    }
+
+    /// Random paper pipelines, both backends, with forced delta anchors.
+    #[test]
+    fn random_pipelines_parallel_equals_serial(dfs in arb_pipeline()) {
+        let img = to_petri(&dfs);
+        assert_parallel_equivalent(&img.net, 3_000)?;
+        assert_lts_parallel_equivalent(&dfs, 3_000)?;
+    }
+}
+
+/// The deterministic wagged shapes (guard/choice structure beyond what the
+/// random pipelines reach), including truncation budgets.
+#[test]
+fn wagged_shapes_parallel_equals_serial() {
+    for ways in [1usize, 2] {
+        let w = wagged_pipeline(ways, 1, 1.0).unwrap();
+        let img = to_petri(&w.dfs);
+        for cap in [30_000usize, 500] {
+            let serial = explore_serial_truncated(
+                &img.net,
+                ExploreConfig {
+                    max_states: cap,
+                    ..ExploreConfig::default()
+                },
+            );
+            for threads in thread_counts() {
+                let par = explore_truncated(
+                    &img.net,
+                    ExploreConfig {
+                        max_states: cap,
+                        threads,
+                    },
+                );
+                assert_eq!(par.len(), serial.len(), "ways={ways} threads={threads}");
+                assert_eq!(par.outcome(), serial.outcome());
+                for (sa, sb) in par.states().zip(serial.states()) {
+                    assert_eq!(par.successors(sa), serial.successors(sb));
+                }
+            }
+        }
+    }
+}
+
+/// Witness traces from the parallel engine replay through the net's own
+/// firing rule — step-enabled, landing exactly on the recorded marking.
+#[test]
+fn parallel_witness_traces_replay() {
+    let w = wagged_pipeline(2, 1, 1.0).unwrap();
+    let img = to_petri(&w.dfs);
+    let space = explore_truncated(
+        &img.net,
+        ExploreConfig {
+            max_states: 2_000,
+            threads: 8,
+        },
+    );
+    assert!(space.is_truncated());
+    for s in space.states() {
+        let mut m = img.net.initial_marking();
+        for t in space.trace_to(s) {
+            assert!(img.net.is_enabled(t, &m), "trace step not enabled");
+            m = img.net.fire(t, &m).unwrap();
+        }
+        assert_eq!(m, space.marking(s));
+    }
+}
