@@ -9,12 +9,18 @@
 //! nominal sizing and supply — must appear on the demand-4 front, with
 //! its exact period-19 row from `fig5_performance`.
 //!
-//! Usage: `dse_pareto [--quick] [--out PATH]`
+//! Usage: `dse_pareto [--quick] [--out PATH] [--cache DIR]`
 //!
 //! `--quick` sweeps the 48-point smoke space over 3-stage hardware (the
 //! CI configuration) and additionally cross-checks the parallel driver
-//! against a single-threaded run; `--out` overrides the output path. The
-//! emitted JSON is schema-validated before the process exits.
+//! against a single-threaded run; `--out` overrides the output path;
+//! `--cache DIR` keeps the persistent artifact store at `DIR`, so a
+//! re-invocation over the same directory starts disk-warm and its cold
+//! pass performs zero full evaluations (the CI warm-restart job). The
+//! sweep always ends with an in-process restart pass — a fresh session
+//! over the store — that must reproduce the fronts bit-identically with
+//! zero full evaluations. The emitted JSON is schema-validated before the
+//! process exits.
 
 use rap_bench::cli::BenchCli;
 use rap_bench::dse::{design_point, render_json, run_sweep, validate};
@@ -23,7 +29,7 @@ use rap_dse::{explore, DseConfig};
 use rap_silicon::cost::CostModel;
 
 fn main() {
-    let cli = BenchCli::parse("dse_pareto", Some("BENCH_dse.json"));
+    let cli = BenchCli::parse_with_cache("dse_pareto", Some("BENCH_dse.json"));
     let quick = cli.quick;
     let out = cli.out_path();
 
@@ -33,7 +39,7 @@ fn main() {
         "Design-space exploration: which pipeline should I build?"
     });
 
-    let run = run_sweep(quick);
+    let run = run_sweep(quick, cli.cache.as_deref());
     let stats = run.outcome.stats;
     println!(
         "{} configurations in {} ms on {} threads: {} full evaluations, \
@@ -47,10 +53,18 @@ fn main() {
     );
     println!(
         "warm re-sweep against the same session: {} ms, {} full evaluations \
-         ({} served from the artifact cache) — fronts bit-identical\n",
+         ({} served from the artifact cache) — fronts bit-identical",
         num(run.warm_elapsed_ms, 0),
         run.warm_stats.full_evaluations,
         run.warm_stats.memo_hits,
+    );
+    println!(
+        "restarted sweep over the persistent store: {} ms, {} full \
+         evaluations ({} disk hits, {} bytes read) — fronts bit-identical\n",
+        num(run.restart_elapsed_ms, 0),
+        run.restart_stats.full_evaluations,
+        run.restart_store.disk_hits,
+        run.restart_store.bytes_read,
     );
 
     let widths = [34usize, 13, 13, 9, 8];

@@ -6,7 +6,12 @@
 //!   (binaries whose full run is already instant accept the flag for
 //!   uniformity and say so in their module docs);
 //! * `--out PATH` — for binaries that persist a `BENCH_*.json` document,
-//!   override the output path (default: the file at the repository root).
+//!   override the output path (default: the file at the repository root);
+//! * `--cache DIR` — for binaries that sweep through a persistent
+//!   [`rap_session::Session`](../../rap_session/struct.Session.html)
+//!   (currently `dse_pareto`), keep the artifact store at `DIR` so
+//!   re-invocations start disk-warm (default: a scratch store discarded
+//!   after the run).
 //!
 //! Anything else exits with status 2 and a usage line naming the binary —
 //! previously every JSON-emitting binary hand-rolled this loop, and the
@@ -20,8 +25,12 @@ use std::path::PathBuf;
 pub struct BenchCli {
     /// `--quick`: run the sub-second smoke configuration.
     pub quick: bool,
+    /// `--cache DIR`: persistent artifact-store directory (only on
+    /// binaries that opt in; `None` = scratch store).
+    pub cache: Option<PathBuf>,
     out: Option<PathBuf>,
     default_out: Option<&'static str>,
+    accepts_cache: bool,
 }
 
 impl BenchCli {
@@ -45,10 +54,13 @@ impl BenchCli {
         }
     }
 
-    fn usage(bin: &str, default_out: Option<&'static str>) -> String {
+    fn usage(bin: &str, default_out: Option<&'static str>, accepts_cache: bool) -> String {
+        let cache = if accepts_cache { " [--cache DIR]" } else { "" };
         match default_out {
-            Some(file) => format!("usage: {bin} [--quick] [--out PATH]   (default out: {file})"),
-            None => format!("usage: {bin} [--quick]"),
+            Some(file) => {
+                format!("usage: {bin} [--quick] [--out PATH]{cache}   (default out: {file})")
+            }
+            None => format!("usage: {bin} [--quick]{cache}"),
         }
     }
 
@@ -65,10 +77,28 @@ impl BenchCli {
         default_out: Option<&'static str>,
         args: impl IntoIterator<Item = String>,
     ) -> Result<BenchCli, String> {
+        Self::parse_from_with(bin, default_out, false, args)
+    }
+
+    /// [`parse_from`](Self::parse_from) for binaries that additionally
+    /// accept `--cache DIR` (a persistent artifact-store directory).
+    ///
+    /// # Errors
+    ///
+    /// See [`parse_from`](Self::parse_from); additionally a missing
+    /// `--cache` operand.
+    pub fn parse_from_with(
+        bin: &str,
+        default_out: Option<&'static str>,
+        accepts_cache: bool,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<BenchCli, String> {
         let mut cli = BenchCli {
             quick: false,
+            cache: None,
             out: None,
             default_out,
+            accepts_cache,
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -78,15 +108,24 @@ impl BenchCli {
                     let path = args.next().ok_or_else(|| {
                         format!(
                             "--out needs a path argument\n{}",
-                            Self::usage(bin, default_out)
+                            Self::usage(bin, default_out, accepts_cache)
                         )
                     })?;
                     cli.out = Some(PathBuf::from(path));
                 }
+                "--cache" if accepts_cache => {
+                    let dir = args.next().ok_or_else(|| {
+                        format!(
+                            "--cache needs a directory argument\n{}",
+                            Self::usage(bin, default_out, accepts_cache)
+                        )
+                    })?;
+                    cli.cache = Some(PathBuf::from(dir));
+                }
                 other => {
                     return Err(format!(
                         "unknown argument `{other}`\n{}",
-                        Self::usage(bin, default_out)
+                        Self::usage(bin, default_out, accepts_cache)
                     ));
                 }
             }
@@ -103,6 +142,18 @@ impl BenchCli {
             eprintln!("{msg}");
             std::process::exit(2);
         })
+    }
+
+    /// [`parse`](Self::parse) for binaries that additionally accept
+    /// `--cache DIR`.
+    #[must_use]
+    pub fn parse_with_cache(bin: &str, default_out: Option<&'static str>) -> BenchCli {
+        Self::parse_from_with(bin, default_out, true, std::env::args().skip(1)).unwrap_or_else(
+            |msg| {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            },
+        )
     }
 }
 
@@ -124,6 +175,33 @@ mod tests {
         let cli = BenchCli::parse_from("b", Some("BENCH_x.json"), args(&["--out", "/tmp/y.json"]))
             .unwrap();
         assert_eq!(cli.out_path(), PathBuf::from("/tmp/y.json"));
+    }
+
+    #[test]
+    fn cache_flag_is_opt_in() {
+        let cli = BenchCli::parse_from_with(
+            "dse_pareto",
+            Some("BENCH_dse.json"),
+            true,
+            args(&["--cache", "/tmp/c"]),
+        )
+        .unwrap();
+        assert_eq!(cli.cache, Some(PathBuf::from("/tmp/c")));
+        // binaries that did not opt in reject it and don't advertise it
+        let err = BenchCli::parse_from("b", Some("BENCH_x.json"), args(&["--cache", "/tmp/c"]))
+            .unwrap_err();
+        assert!(err.contains("unknown argument `--cache`"));
+        assert!(!err.contains("[--cache DIR]"));
+        // missing operand
+        let err = BenchCli::parse_from_with(
+            "dse_pareto",
+            Some("BENCH_dse.json"),
+            true,
+            args(&["--cache"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("--cache needs a directory argument"));
+        assert!(err.contains("[--cache DIR]"));
     }
 
     #[test]

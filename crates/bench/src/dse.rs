@@ -25,8 +25,12 @@ use std::time::Instant;
 
 /// Schema tag embedded in (and required from) the emitted JSON. `v2`
 /// added the `warm` object: the same sweep re-run against the warm
-/// session, recording what the cross-sweep artifact cache saves.
-pub const SCHEMA: &str = "rap/dse-pareto/v2";
+/// session, recording what the cross-sweep artifact cache saves. `v3`
+/// added the `restart` object and store counters: the sweep now runs over
+/// a persistent artifact store, and a *fresh* session over the same
+/// directory — a simulated process restart — must perform zero full
+/// evaluations, every structure served from disk.
+pub const SCHEMA: &str = "rap/dse-pareto/v3";
 
 /// The label of the paper's design point in the full sweep.
 pub const PAPER_DESIGN_POINT: &str = "reconfigurable(6)@d4 s1 1.2V";
@@ -82,8 +86,10 @@ pub fn paper_space(quick: bool) -> DesignSpace {
     }
 }
 
-/// A completed sweep with its timing: the cold pass (empty session) and
-/// a warm pass of the identical space against the now-populated session.
+/// A completed sweep with its timing: the cold pass (store-backed
+/// session), a warm pass of the identical space against the now-populated
+/// session, and a *restart* pass — a fresh session over the same store
+/// directory, simulating a process restart served entirely from disk.
 #[derive(Debug)]
 pub struct SweepRun {
     /// The cold-pass outcome.
@@ -95,6 +101,13 @@ pub struct SweepRun {
     /// Counters of the warm pass (full evaluations ≈ 0: every structure
     /// is served from the session cache).
     pub warm_stats: rap_dse::SweepStats,
+    /// Wall-clock of the restart pass (ms).
+    pub restart_elapsed_ms: f64,
+    /// Counters of the restart pass (full evaluations = 0: every
+    /// structure is served from the persistent store).
+    pub restart_stats: rap_dse::SweepStats,
+    /// Store counters of the restart session (disk hits, bytes read…).
+    pub restart_store: rap_session::StoreStats,
     /// Threads used.
     pub threads: usize,
     /// Quick space?
@@ -103,19 +116,44 @@ pub struct SweepRun {
 
 /// Runs the sweep with the default driver configuration.
 ///
+/// `cache` names the persistent artifact-store directory. `None` uses a
+/// scratch directory removed before returning; passing a real path makes
+/// the sweep's artifacts survive the process, so a *re-invocation* over
+/// the same path starts disk-warm (the CI warm-restart job drives this
+/// through `dse_pareto --cache`). Either way the run includes an
+/// in-process restart pass: a fresh session over the store directory that
+/// must reproduce the fronts bit-identically with **zero** full
+/// evaluations.
+///
 /// # Panics
 ///
-/// Panics if the sweep hits evaluation errors or, in the full space, if
-/// the documented depth-monotonicity assumption behind the sibling
-/// pruning bound is violated by the recorded evaluations (a tripwire; the
-/// front-equivalence property is additionally tested with pruning
-/// disabled in `rap-dse`'s test-suite).
+/// Panics if the store directory cannot be opened (locked or unwritable),
+/// if the sweep hits evaluation errors, if any pass drifts from the cold
+/// fronts, if the restart pass recomputes anything, or, in the full
+/// space, if the documented depth-monotonicity assumption behind the
+/// sibling pruning bound is violated by the recorded evaluations (a
+/// tripwire; the front-equivalence property is additionally tested with
+/// pruning disabled in `rap-dse`'s test-suite).
 #[must_use]
-pub fn run_sweep(quick: bool) -> SweepRun {
+pub fn run_sweep(quick: bool, cache: Option<&std::path::Path>) -> SweepRun {
     let space = paper_space(quick);
     let cost = CostModel::default();
     let cfg = DseConfig::default();
-    let session = rap_session::Session::new();
+    let (store_dir, scratch) = match cache {
+        Some(dir) => (dir.to_path_buf(), false),
+        None => {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "rap-dse-store-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            (dir, true)
+        }
+    };
+    let session = rap_session::Session::open(&store_dir)
+        .unwrap_or_else(|e| panic!("cannot open artifact store {}: {e:?}", store_dir.display()));
     let t0 = Instant::now();
     let outcome = explore_with_session(&space, &cost, &cfg, &session);
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -130,7 +168,32 @@ pub fn run_sweep(quick: bool) -> SweepRun {
         warm.stats.full_evaluations <= outcome.stats.full_evaluations,
         "warm pass re-evaluated more than the cold pass"
     );
+    // restart pass: drop the session (releasing the store lock), open a
+    // fresh one over the same directory and re-sweep — every structure is
+    // served from disk, so the fronts are bit-identical at zero full
+    // evaluations: the crash-safety contract, measured
+    drop(session);
+    let session = rap_session::Session::open(&store_dir)
+        .unwrap_or_else(|e| panic!("cannot reopen artifact store: {e:?}"));
+    let t2 = Instant::now();
+    let restart = explore_with_session(&space, &cost, &cfg, &session);
+    let restart_elapsed_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert_fronts_identical(&outcome, &restart);
+    assert_eq!(
+        restart.stats.full_evaluations, 0,
+        "a restarted sweep over an intact store must recompute nothing"
+    );
+    let restart_store = session.stats().store;
+    assert!(
+        restart_store.disk_hits > 0,
+        "the restart pass never touched the store"
+    );
+    drop(session);
+    if scratch {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
     assert_eq!(outcome.stats.errors, 0, "sweep produced evaluation errors");
+    assert_eq!(outcome.stats.panics, 0, "a sweep worker panicked");
     assert_eq!(
         outcome.stats.check_violations, 0,
         "a swept configuration failed its verification screen"
@@ -161,6 +224,9 @@ pub fn run_sweep(quick: bool) -> SweepRun {
         elapsed_ms,
         warm_elapsed_ms,
         warm_stats: warm.stats,
+        restart_elapsed_ms,
+        restart_stats: restart.stats,
+        restart_store,
         threads: cfg.threads,
         quick,
     }
@@ -239,6 +305,47 @@ pub fn render_json(run: &SweepRun) -> String {
         run.warm_stats.memo_hits
     ));
     out.push_str(&format!("    \"pruned\": {}\n", run.warm_stats.pruned));
+    out.push_str("  },\n");
+    out.push_str("  \"restart\": {\n");
+    out.push_str(&format!(
+        "    \"elapsed_ms\": {:.3},\n",
+        run.restart_elapsed_ms
+    ));
+    out.push_str(&format!(
+        "    \"full_evaluations\": {},\n",
+        run.restart_stats.full_evaluations
+    ));
+    out.push_str(&format!(
+        "    \"memo_hits\": {},\n",
+        run.restart_stats.memo_hits
+    ));
+    out.push_str(&format!("    \"pruned\": {},\n", run.restart_stats.pruned));
+    out.push_str("    \"store\": {\n");
+    out.push_str(&format!(
+        "      \"disk_hits\": {},\n",
+        run.restart_store.disk_hits
+    ));
+    out.push_str(&format!(
+        "      \"disk_misses\": {},\n",
+        run.restart_store.disk_misses
+    ));
+    out.push_str(&format!(
+        "      \"bytes_read\": {},\n",
+        run.restart_store.bytes_read
+    ));
+    out.push_str(&format!(
+        "      \"bytes_written\": {},\n",
+        run.restart_store.bytes_written
+    ));
+    out.push_str(&format!(
+        "      \"corrupt_recovered\": {},\n",
+        run.restart_store.corrupt_recovered
+    ));
+    out.push_str(&format!(
+        "      \"write_errors\": {}\n",
+        run.restart_store.write_errors
+    ));
+    out.push_str("    }\n");
     out.push_str("  },\n");
 
     let (dp_label, dp_workload) = design_point(run.quick);
@@ -413,6 +520,64 @@ pub fn validate(src: &str) -> Result<Summary, String> {
             "warm pass performed more full evaluations ({warm_full}) than the cold pass ({full_evaluations})"
         ));
     }
+
+    // the restart pass (v3): the crash-safety acceptance — a fresh session
+    // over the same store directory performs zero full evaluations, and it
+    // actually read the store (a restart that silently recomputed in
+    // memory would also report zero disk hits)
+    let restart = doc
+        .get("restart")
+        .ok_or("missing \"restart\" object (v3)")?;
+    let restart_stat = |k: &str| -> Result<usize, String> {
+        restart
+            .get(k)
+            .and_then(Json::as_f64)
+            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as usize)
+            .ok_or(format!("restart: missing count \"{k}\""))
+    };
+    restart
+        .get("elapsed_ms")
+        .and_then(Json::as_f64)
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .ok_or("restart: missing non-negative \"elapsed_ms\"")?;
+    let restart_full = restart_stat("full_evaluations")?;
+    let restart_memo = restart_stat("memo_hits")?;
+    let restart_pruned = restart_stat("pruned")?;
+    if restart_full + restart_memo + restart_pruned != configurations {
+        return Err(format!(
+            "restart work accounting broken: {restart_full} + {restart_memo} + {restart_pruned} != {configurations}"
+        ));
+    }
+    if restart_full != 0 {
+        return Err(format!(
+            "restarted sweep performed {restart_full} full evaluations (must be 0: \
+             every structure is served from the persistent store)"
+        ));
+    }
+    let store = restart
+        .get("store")
+        .ok_or("restart: missing \"store\" counters")?;
+    let store_stat = |k: &str| -> Result<usize, String> {
+        store
+            .get(k)
+            .and_then(Json::as_f64)
+            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as usize)
+            .ok_or(format!("restart.store: missing count \"{k}\""))
+    };
+    if store_stat("disk_hits")? == 0 {
+        return Err("restarted sweep never read the store".to_string());
+    }
+    if store_stat("bytes_read")? == 0 {
+        return Err("restarted sweep read zero bytes".to_string());
+    }
+    // deliberately NOT required: bytes_written > 0 — a re-invocation over
+    // an already-populated --cache directory writes nothing anywhere
+    store_stat("bytes_written")?;
+    store_stat("disk_misses")?;
+    store_stat("corrupt_recovered")?;
+    store_stat("write_errors")?;
 
     let fronts = doc
         .get("fronts")

@@ -111,6 +111,7 @@ fn cfg(threads: usize) -> ExploreConfig {
     ExploreConfig {
         max_states: MAX_STATES,
         threads,
+        deadline: None,
     }
 }
 
@@ -170,6 +171,7 @@ fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) ->
         max_states: MAX_STATES,
         threads: t,
         anchor_interval: 0,
+        deadline: None,
     };
     let mut threads = Vec::new();
     for &t in THREADS {

@@ -11,11 +11,11 @@ use rap_bench::dse::{design_point, render_json, run_sweep, validate, SCHEMA};
 
 #[test]
 fn quick_sweep_emits_valid_json() {
-    let run = run_sweep(true);
+    let run = run_sweep(true, None);
     assert!(run.quick);
     let json = render_json(&run);
     assert!(json.contains(SCHEMA));
-    let summary = validate(&json).expect("emitted JSON validates against the v1 schema");
+    let summary = validate(&json).expect("emitted JSON validates against the current schema");
     assert_eq!(summary.configurations, 48);
     assert!(summary.design_point_on_front);
     // every demand class of the quick space produced a front
@@ -24,7 +24,7 @@ fn quick_sweep_emits_valid_json() {
 
 #[test]
 fn memoization_collapses_voltage_and_demand_replicas() {
-    let run = run_sweep(true);
+    let run = run_sweep(true, None);
     let stats = run.outcome.stats;
     // the warm pass ran the identical space against the populated
     // session: every structure analysed in the cold pass is an
@@ -57,7 +57,7 @@ fn memoization_collapses_voltage_and_demand_replicas() {
 
 #[test]
 fn quick_design_point_has_an_exact_period() {
-    let run = run_sweep(true);
+    let run = run_sweep(true, None);
     let (label, workload) = design_point(true);
     let e = run
         .outcome

@@ -789,6 +789,7 @@ mod tests {
                         max_states: budget,
                         threads,
                         anchor_interval: 0,
+                        deadline: None,
                     },
                     None,
                 );

@@ -116,6 +116,11 @@ pub struct SweepStats {
     pub pruned: usize,
     /// Configurations whose evaluation errored (structurally dead models).
     pub errors: usize,
+    /// Evaluations lost to a panicking task. Panic isolation keeps the
+    /// sweep alive — a panic poisons exactly one design point's result —
+    /// so any non-zero value here flags an internal bug without costing
+    /// the rest of the sweep.
+    pub panics: usize,
     /// Full evaluations whose Petri screen was truncated (inconclusive).
     pub check_inconclusive: usize,
     /// Full evaluations whose Petri screen found a violation.
@@ -162,6 +167,7 @@ struct Shared<'a> {
     memo_hits: AtomicUsize,
     pruned: AtomicUsize,
     errors: AtomicUsize,
+    panics: AtomicUsize,
     check_inconclusive: AtomicUsize,
     check_violations: AtomicUsize,
 }
@@ -224,11 +230,30 @@ impl Shared<'_> {
     fn run_worker(&self, me: usize, out: &mut Vec<Evaluation>) {
         while let Some(idx) = self.queues.next(me) {
             let config = self.tasks[idx];
+            // panic isolation: a panicking evaluation poisons only its own
+            // result (the point is recorded in `panics` and missing from
+            // the sweep), the worker and the rest of the batch continue.
+            // The shared-state sections (siblings/dominators mutexes,
+            // session slots) only hold locks around plain inserts, so a
+            // panic inside an evaluation cannot poison them mid-update.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.eval_task(config)))
+            {
+                Ok(Some(eval)) => out.push(eval),
+                Ok(None) => {}
+                Err(_) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn eval_task(&self, config: Config) -> Option<Evaluation> {
+        {
             let dfs = match config.build() {
                 Ok(dfs) => dfs,
                 Err(_) => {
                     self.errors.fetch_add(1, Ordering::Relaxed);
-                    continue;
+                    return None;
                 }
             };
             // with memoization, twins intern to one CompiledModel in the
@@ -247,7 +272,7 @@ impl Shared<'_> {
                     let bound = optimistic_bound(&config, &dfs, self.cost, lb);
                     if self.is_dominated(config.workload, &bound) {
                         self.pruned.fetch_add(1, Ordering::Relaxed);
-                        continue;
+                        return None;
                     }
                 }
             }
@@ -257,13 +282,13 @@ impl Shared<'_> {
             let (detail, ran_here) = model.perf_detail_traced();
             if detail.is_err() {
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                continue;
+                return None;
             }
             let eval = match evaluate_structural(&model, self.cost, self.cfg.check_budget) {
                 Ok(eval) => eval,
                 Err(_) => {
                     self.errors.fetch_add(1, Ordering::Relaxed);
-                    continue;
+                    return None;
                 }
             };
             if ran_here {
@@ -287,7 +312,7 @@ impl Shared<'_> {
             if !eval.check_violated {
                 self.record_dominator(config.workload, objectives);
             }
-            out.push(Evaluation {
+            Some(Evaluation {
                 config,
                 label: config.label(),
                 objectives,
@@ -296,7 +321,7 @@ impl Shared<'_> {
                 check_truncated: eval.check_truncated,
                 check_violated: eval.check_violated,
                 memoized,
-            });
+            })
         }
     }
 }
@@ -340,16 +365,27 @@ pub fn explore_with_session(
         memo_hits: AtomicUsize::new(0),
         pruned: AtomicUsize::new(0),
         errors: AtomicUsize::new(0),
+        panics: AtomicUsize::new(0),
         check_inconclusive: AtomicUsize::new(0),
         check_violations: AtomicUsize::new(0),
     };
 
-    let mut evaluations: Vec<Evaluation> = rap_pool::run_workers(threads, |me| {
+    let mut evaluations: Vec<Evaluation> = Vec::new();
+    for result in rap_pool::run_workers(threads, |me| {
         let mut out = Vec::new();
         shared.run_worker(me, &mut out);
         out
-    })
-    .concat();
+    }) {
+        match result {
+            Ok(out) => evaluations.extend(out),
+            // per-task catch_unwind means a worker-level death can only
+            // come from outside an evaluation (e.g. drop glue); its
+            // completed results are lost but the sweep still reports
+            Err(_) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 
     evaluations.sort_by(|a, b| (a.config.workload, &a.label).cmp(&(b.config.workload, &b.label)));
 
@@ -376,6 +412,7 @@ pub fn explore_with_session(
         memo_hits: shared.memo_hits.load(Ordering::Relaxed),
         pruned: shared.pruned.load(Ordering::Relaxed),
         errors: shared.errors.load(Ordering::Relaxed),
+        panics: shared.panics.load(Ordering::Relaxed),
         check_inconclusive: shared.check_inconclusive.load(Ordering::Relaxed),
         check_violations: shared.check_violations.load(Ordering::Relaxed),
     };

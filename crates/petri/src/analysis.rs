@@ -13,7 +13,7 @@ use crate::symmetry::Symmetry;
 use crate::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// A reachable deadlock: a state with no enabled transitions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Deadlock {
     /// The dead state.
     pub state: StateId,
@@ -135,7 +135,7 @@ impl QuickVerdict {
 }
 
 /// Result of a budget-bounded deadlock + 1-safety check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuickCheck {
     /// States explored.
     pub states: usize,
@@ -186,14 +186,35 @@ impl QuickCheck {
 /// [`QuickVerdict::Inconclusive`] instead of over-claiming.
 #[must_use]
 pub fn quick_check(net: &PetriNet, pairs: &[(PlaceId, PlaceId)], max_states: usize) -> QuickCheck {
-    let space = explore_truncated(
+    quick_check_with(
         net,
-        ExploreConfig {
+        pairs,
+        &ExploreConfig {
             max_states,
             ..ExploreConfig::default()
         },
-    );
-    verdicts_over(net, &space, pairs, max_states)
+    )
+}
+
+/// [`quick_check`] under an explicit [`ExploreConfig`] — the variant that
+/// exposes the wall-clock [`deadline`](ExploreConfig::deadline) (and the
+/// thread count) in addition to the state budget.
+///
+/// A deadline expiry produces the same *typed* outcomes as a budget hit:
+/// the exploration stops `Truncated` at a level-commit barrier and the
+/// verdicts over the (complete-level, deterministic) prefix degrade to
+/// [`QuickVerdict::Inconclusive`] unless a genuine violation was already
+/// found — a runaway check never over-claims, and never runs past its
+/// time box to the state cap. The reported `Inconclusive` budget is the
+/// state budget in force when the clock cut the run.
+#[must_use]
+pub fn quick_check_with(
+    net: &PetriNet,
+    pairs: &[(PlaceId, PlaceId)],
+    cfg: &ExploreConfig,
+) -> QuickCheck {
+    let space = explore_truncated(net, *cfg);
+    verdicts_over(net, &space, pairs, cfg.max_states)
 }
 
 /// Symmetry-reduced [`quick_check`]: explores the rotation *quotient* under

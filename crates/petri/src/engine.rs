@@ -160,6 +160,26 @@ pub struct EngineConfig {
     /// states in between); `0` = auto (all-anchor for states ≤ 2 words,
     /// every 8 levels otherwise), `1` = store every state in full.
     pub anchor_interval: usize,
+    /// Wall-clock budget for the parallel engine; `None` = unbounded (the
+    /// state cap is then the only stop). A runaway exploration becomes the
+    /// ordinary typed [`ExploreOutcome::Truncated`] outcome instead of
+    /// running to the cap.
+    ///
+    /// **Deterministic cut semantics:** the clock is consulted *only at
+    /// level-commit barriers* — after a BFS level has been fully expanded,
+    /// committed and deduplicated — never mid-level. The explored prefix
+    /// is therefore always a complete-level prefix of the canonical BFS
+    /// order, and for a given cut level the resulting graph is bit-
+    /// identical at every thread count; wall-clock variance can only move
+    /// the cut to a different level boundary, never produce a state set no
+    /// serial exploration could. Deadline-truncated artifacts are
+    /// outcome-typed (`Truncated` / `Inconclusive`), so downstream layers
+    /// treat them exactly like budget-truncated ones — and the session's
+    /// persistent store never caches them under a deadline-free key.
+    /// The serial reference engine ([`explore`]) deliberately ignores the
+    /// deadline: it is the determinism oracle the differential tests
+    /// compare against.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for EngineConfig {
@@ -168,6 +188,7 @@ impl Default for EngineConfig {
             max_states: 2_000_000,
             threads: 0,
             anchor_interval: 0,
+            deadline: None,
         }
     }
 }
@@ -786,6 +807,7 @@ where
     S: TransitionSystem + Send,
     F: Fn() -> S + Sync,
 {
+    let started = std::time::Instant::now();
     let threads = cfg.resolved_threads().max(1);
     // one system per worker for the whole run (`factory` can be expensive);
     // workers re-acquire their own instance each level, uncontended
@@ -944,7 +966,11 @@ where
             outs
         })
         .into_iter()
-        .flatten()
+        .flat_map(|r| {
+            // a dead worker is unrecoverable here: the level barrier needs
+            // every chunk, so escalate instead of committing a partial level
+            r.unwrap_or_else(|e| panic!("state-space engine worker died: {e}"))
+        })
         .collect();
 
         // commit: one pass in canonical (parent id, action) order assigns
@@ -990,6 +1016,13 @@ where
         }
 
         if g.is_truncated() {
+            break;
+        }
+        // wall-clock deadline, consulted only here — at the level-commit
+        // barrier — so the explored prefix is always a complete-level
+        // prefix of the canonical BFS order (see `EngineConfig::deadline`)
+        if cfg.deadline.is_some_and(|d| started.elapsed() >= d) {
+            g.outcome = ExploreOutcome::Truncated { limit: g.len() };
             break;
         }
         index.clear_pending();
@@ -1391,6 +1424,7 @@ mod tests {
             max_states,
             threads,
             anchor_interval,
+            deadline: None,
         }
     }
 

@@ -36,6 +36,12 @@ pub struct ExploreConfig {
     /// Worker threads for the parallel engine; `0` = one per available core
     /// (capped at 8). Results are identical at every thread count.
     pub threads: usize,
+    /// Wall-clock budget; `None` = unbounded. Checked only at level-commit
+    /// barriers, so a deadline cut still yields a complete-level,
+    /// thread-count-independent prefix — see
+    /// [`EngineConfig::deadline`](crate::engine::EngineConfig) for the full
+    /// determinism contract.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for ExploreConfig {
@@ -43,6 +49,7 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_states: 2_000_000,
             threads: 0,
+            deadline: None,
         }
     }
 }
@@ -53,6 +60,7 @@ impl ExploreConfig {
             max_states: self.max_states,
             threads: self.threads,
             anchor_interval: 0,
+            deadline: self.deadline,
         }
     }
 }
@@ -66,6 +74,16 @@ impl StateId {
     #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a `StateId` from a raw index (see [`PlaceId::from_index`]
+    /// for the caveats: only meaningful against the space that issued the
+    /// index — used by persistence layers that round-trip witnesses).
+    ///
+    /// [`PlaceId::from_index`]: crate::PlaceId::from_index
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        StateId(u32::try_from(index).expect("state index exceeds u32"))
     }
 }
 

@@ -23,7 +23,51 @@
 //! the correctness argument (and the schedule-stress tests) small.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// A worker failure surfaced by [`run_workers`].
+///
+/// Panic payloads don't implement `Send + Debug` in general, so the
+/// payload is flattened to its message (`&str` / `String` payloads — the
+/// ones `panic!` produces; anything else becomes a placeholder). The
+/// worker index pins *which* result slot was poisoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The worker panicked; its result slot carries this error while every
+    /// other worker's slot holds its normal result — a panic poisons one
+    /// slot, never the batch.
+    WorkerPanicked {
+        /// Index of the worker that panicked.
+        worker: usize,
+        /// The panic payload's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { worker, message } => {
+                write!(f, "pool worker {worker} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Extracts the human-readable message of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Per-worker work-stealing deques over tasks of type `T`.
 ///
@@ -98,27 +142,46 @@ impl<T> StealQueues<T> {
 /// worker order. With `threads <= 1` the single worker runs inline on the
 /// calling thread — same code path, no spawn.
 ///
-/// # Panics
-///
-/// Propagates a panic of any worker.
-pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+/// **Panic isolation:** a panicking worker poisons only its own slot —
+/// its entry is [`PoolError::WorkerPanicked`] (carrying the payload
+/// message) while the remaining workers run to completion and deliver
+/// their results. Under the work-stealing discipline the dead worker's
+/// undrained tasks are stolen by the survivors, so a single panicking
+/// *task* costs its own result, not the batch. Callers for whom a worker
+/// death is unrecoverable (e.g. the state-space engine, whose levels are
+/// barrier-synchronised) escalate the `Err` themselves.
+pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<Result<R, PoolError>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let capture = |me: usize| {
+        catch_unwind(AssertUnwindSafe(|| worker(me))).map_err(|payload| PoolError::WorkerPanicked {
+            worker: me,
+            message: panic_message(payload),
+        })
+    };
     if threads <= 1 {
-        return vec![worker(0)];
+        return vec![capture(0)];
     }
     let mut out = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|me| {
-                let worker = &worker;
-                scope.spawn(move || worker(me))
+                let capture = &capture;
+                scope.spawn(move || capture(me))
             })
             .collect();
-        for h in handles {
-            out.push(h.join().expect("pool worker panicked"));
+        for (me, h) in handles.into_iter().enumerate() {
+            // the closure already caught the panic; join() can only fail
+            // for a panic *outside* catch_unwind (e.g. in drop glue) —
+            // still isolated to this worker's slot
+            out.push(h.join().unwrap_or_else(|payload| {
+                Err(PoolError::WorkerPanicked {
+                    worker: me,
+                    message: panic_message(payload),
+                })
+            }));
         }
     });
     out
@@ -144,7 +207,8 @@ mod tests {
                 n
             });
             assert_eq!(seen.load(Ordering::Relaxed), 100);
-            assert_eq!(counts.iter().sum::<usize>(), 100);
+            let total: usize = counts.iter().map(|c| c.as_ref().unwrap()).sum();
+            assert_eq!(total, 100);
         }
     }
 
@@ -177,6 +241,71 @@ mod tests {
     #[test]
     fn run_workers_results_are_in_worker_order() {
         let r = run_workers(4, |me| me * 10);
-        assert_eq!(r, vec![0, 10, 20, 30]);
+        assert_eq!(r, vec![Ok(0), Ok(10), Ok(20), Ok(30)]);
+    }
+
+    #[test]
+    fn panicking_worker_poisons_only_its_own_slot() {
+        // worker 2 panics immediately; the others must drain its tasks and
+        // deliver their results — N−1 tasks processed in total (worker 2's
+        // in-hand task, if any, dies with it; here it panics before taking
+        // one, so all 40 tasks survive)
+        let q = StealQueues::new(4);
+        q.deal(0..40usize);
+        let results = run_workers(4, |me| {
+            if me == 2 {
+                panic!("injected evaluation panic");
+            }
+            let mut n = 0usize;
+            while let Some(_t) = q.next(me) {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(results.len(), 4);
+        match &results[2] {
+            Err(PoolError::WorkerPanicked { worker, message }) => {
+                assert_eq!(*worker, 2);
+                assert_eq!(message, "injected evaluation panic");
+            }
+            other => panic!("expected WorkerPanicked in slot 2, got {other:?}"),
+        }
+        let survivors: usize = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .copied()
+            .sum();
+        assert_eq!(survivors, 40, "survivors drained every task");
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 3);
+    }
+
+    #[test]
+    fn inline_single_worker_panic_is_captured_too() {
+        let results = run_workers(1, |_| -> usize { panic!("inline panic") });
+        assert_eq!(
+            results,
+            vec![Err(PoolError::WorkerPanicked {
+                worker: 0,
+                message: "inline panic".to_string(),
+            })]
+        );
+    }
+
+    #[test]
+    fn string_panic_payloads_are_preserved() {
+        let results = run_workers(2, |me| {
+            if me == 1 {
+                panic!("formatted {}", 42);
+            }
+            me
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(
+            results[1],
+            Err(PoolError::WorkerPanicked {
+                worker: 1,
+                message: "formatted 42".to_string(),
+            })
+        );
     }
 }

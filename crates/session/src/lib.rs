@@ -91,15 +91,22 @@
 
 mod error;
 mod model;
+mod persist;
 
 pub use error::Error;
 pub use model::{CompiledModel, CostSummary, ModelStats};
 // the cost query's parameter type, re-exported so session users need no
 // direct rap-silicon dependency (and facade users no `silicon` feature)
 pub use rap_silicon::cost::CostModel;
+// the persistence layer, re-exported whole (as `store`) plus the three
+// types session users handle directly, so persistent sessions need no
+// rap-store dependency of their own
+pub use rap_store as store;
+pub use rap_store::{Store, StoreError, StoreStats};
 
 use dfs_core::Dfs;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -116,6 +123,10 @@ pub struct SessionStats {
     pub models: u64,
     /// Query/computation counters summed over every compiled model.
     pub queries: ModelStats,
+    /// Artifact-store counters (all zero for a memory-only session):
+    /// disk hits/misses, corrupt frames recovered, bytes moved — the
+    /// observability half of the graceful-degradation contract.
+    pub store: StoreStats,
 }
 
 /// A byte-exact digest of a model's identity: names, node order, kinds,
@@ -171,6 +182,8 @@ pub struct Session {
     models: Mutex<InternTable>,
     compiles: AtomicU64,
     compile_hits: AtomicU64,
+    /// Persistent artifact store; `None` = memory-only session.
+    store: Option<Arc<Store>>,
 }
 
 /// Field-exact model equality: the verification step behind intern hits.
@@ -197,10 +210,55 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
-    /// An empty session.
+    /// An empty, memory-only session: every artifact dies with it.
     #[must_use]
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// A session persisting its artifacts through `store`.
+    ///
+    /// Every successful perf / quick-check / cost / steady-state artifact
+    /// is committed to the store (crash-safely — temp file, fsync, atomic
+    /// rename), and every such query consults the store before computing,
+    /// so warm-sweep guarantees extend across process restarts: a
+    /// restarted sweep over an intact store performs zero full
+    /// evaluations. Store degradation (corrupt frames, full disk, I/O
+    /// errors) never changes an answer — only whether it was recomputed —
+    /// and is observable via [`SessionStats::store`].
+    #[must_use]
+    pub fn with_store(store: Store) -> Self {
+        Session {
+            store: Some(Arc::new(store)),
+            ..Session::default()
+        }
+    }
+
+    /// Opens (creating if necessary) the artifact store at `dir` and
+    /// builds a persistent session over it — shorthand for
+    /// [`Store::open`] + [`Session::with_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when a live process holds the directory,
+    /// [`StoreError::Io`] when it cannot be prepared. Callers that prefer
+    /// degradation over failure use [`Session::open_or_memory`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(Session::with_store(Store::open(dir)?))
+    }
+
+    /// [`Session::open`], degrading to a memory-only session when the
+    /// store cannot be opened (locked directory, read-only filesystem…) —
+    /// the caller keeps every answer, and only loses persistence.
+    #[must_use]
+    pub fn open_or_memory(dir: impl AsRef<Path>) -> Self {
+        Session::open(dir).unwrap_or_else(|_| Session::new())
+    }
+
+    /// The persistent store backing this session, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Compiles `dfs`, interning by identity: if an identical model (equal
@@ -222,7 +280,12 @@ impl Session {
             self.compile_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(model);
         }
-        let model = Arc::new(CompiledModel::new(dfs.clone(), structural));
+        let persist = self.store.as_ref().map(|s| persist::Persist {
+            store: Arc::clone(s),
+            structural,
+            identity: key.1,
+        });
+        let model = Arc::new(CompiledModel::new(dfs.clone(), structural, key.1, persist));
         bucket.push(Arc::clone(&model));
         model
     }
@@ -243,6 +306,7 @@ impl Session {
             compile_hits: self.compile_hits.load(Ordering::Relaxed),
             models: count,
             queries,
+            store: self.store.as_ref().map(|s| s.stats()).unwrap_or_default(),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! [`CompiledModel`]: one interned DFS model with demand-computed, memoized
 //! derived artifacts.
 
+use crate::persist::Persist;
 use crate::Error;
 use dfs_core::perf::{analyse_with_activity, PerfDetail, PerfReport};
 use dfs_core::timed::{measure_steady_period, ChoicePolicy, SteadyStatePeriod};
@@ -192,6 +193,14 @@ impl CostSummary {
 pub struct CompiledModel {
     dfs: Dfs,
     structural_hash: u64,
+    identity_digest: u64,
+    /// Store context of a persistent session; `None` = memory-only. The
+    /// persisted queries (perf, check, cost, steady) consult the store
+    /// inside their in-flight reservation: a verified disk frame fills the
+    /// slot *without* counting as a computation, so restart-warm sweeps do
+    /// zero full evaluations. The Petri image and LTS are recomputed, not
+    /// persisted — see [`crate::persist`].
+    persist: Option<Persist>,
     petri: OnceLock<PetriImage>,
     perf: OnceLock<Result<PerfDetail, Error>>,
     lts: SlotMap<usize, Result<Arc<Lts>, Error>>,
@@ -216,10 +225,17 @@ impl std::fmt::Debug for CompiledModel {
 }
 
 impl CompiledModel {
-    pub(crate) fn new(dfs: Dfs, structural_hash: u64) -> Self {
+    pub(crate) fn new(
+        dfs: Dfs,
+        structural_hash: u64,
+        identity_digest: u64,
+        persist: Option<Persist>,
+    ) -> Self {
         CompiledModel {
             dfs,
             structural_hash,
+            identity_digest,
+            persist,
             petri: OnceLock::new(),
             perf: OnceLock::new(),
             lts: Mutex::new(HashMap::new()),
@@ -241,6 +257,14 @@ impl CompiledModel {
     #[must_use]
     pub fn structural_hash(&self) -> u64 {
         self.structural_hash
+    }
+
+    /// The byte-exact identity digest the model was interned under — the
+    /// second half of the intern key, and of every persistent artifact's
+    /// [`rap_store::ArtifactKey`].
+    #[must_use]
+    pub fn identity_digest(&self) -> u64 {
+        self.identity_digest
     }
 
     /// Per-model query/computation counters.
@@ -276,19 +300,32 @@ impl CompiledModel {
     }
 
     /// [`perf_detail`](Self::perf_detail), also reporting whether *this*
-    /// call performed the analysis (`true`) or was served from the cache /
-    /// blocked on a concurrent twin's in-flight computation (`false`).
-    /// Sweep drivers use this for exact work accounting.
+    /// call performed the analysis (`true`) or was served from a cache —
+    /// in-memory, in-flight (blocked on a concurrent twin's computation),
+    /// or a verified on-disk frame of a persistent session — (`false`).
+    /// Sweep drivers use this for exact work accounting; a restart-warm
+    /// sweep over an intact store reports `false` throughout.
     pub fn perf_detail_traced(&self) -> (Result<&PerfDetail, Error>, bool) {
-        let (res, ran) = traced_once(&self.perf, || {
-            analyse_with_activity(&self.dfs).map_err(Error::from)
+        let mut analysed = false;
+        let (res, _filled) = traced_once(&self.perf, || {
+            if let Some(p) = &self.persist {
+                if let Some(detail) = p.load_perf() {
+                    return Ok(detail);
+                }
+            }
+            analysed = true;
+            let r = analyse_with_activity(&self.dfs).map_err(Error::from);
+            if let (Some(p), Ok(detail)) = (&self.persist, &r) {
+                p.save_perf(detail);
+            }
+            r
         });
         Counters::bump(
             &self.counters.perf_queries,
             &self.counters.perf_analyses,
-            ran,
+            analysed,
         );
-        (res.as_ref().map_err(Clone::clone), ran)
+        (res.as_ref().map_err(Clone::clone), analysed)
     }
 
     /// The throughput report — the `report` half of
@@ -340,9 +377,22 @@ impl CompiledModel {
     #[must_use]
     pub fn quick_check(&self, budget: usize) -> Arc<QuickCheck> {
         let slot = keyed_slot(&self.checks, budget);
-        let (check, ran) = traced_once(&slot, || {
+        let mut ran = false;
+        let (check, _filled) = traced_once(&slot, || {
+            if let Some(p) = &self.persist {
+                if let Some(check) = p.load_check(budget) {
+                    // a disk hit skips the whole pipeline, including the
+                    // Petri translation the in-memory path would demand
+                    return Arc::new(check);
+                }
+            }
+            ran = true;
             let img = self.petri();
-            Arc::new(quick_check(&img.net, &img.complementary_pairs(), budget))
+            let check = quick_check(&img.net, &img.complementary_pairs(), budget);
+            if let Some(p) = &self.persist {
+                p.save_check(budget, &check);
+            }
+            Arc::new(check)
         });
         Counters::bump(&self.counters.check_queries, &self.counters.check_runs, ran);
         Arc::clone(check)
@@ -357,14 +407,26 @@ impl CompiledModel {
     ///
     /// Propagates the cached error of the throughput analysis.
     pub fn cost(&self, cost: &CostModel) -> Result<CostSummary, Error> {
-        let slot = keyed_slot(&self.costs, cost.cache_key());
-        let (res, ran) = traced_once(&slot, || {
+        let cache_key = cost.cache_key();
+        let slot = keyed_slot(&self.costs, cache_key);
+        let mut ran = false;
+        let (res, _filled) = traced_once(&slot, || {
+            if let Some(p) = &self.persist {
+                if let Some(summary) = p.load_cost(cache_key) {
+                    return Ok(summary);
+                }
+            }
+            ran = true;
             let detail = self.perf_detail()?;
-            Ok(CostSummary {
+            let summary = CostSummary {
                 area: cost.area(&self.dfs),
                 switched_ge_per_item: cost
                     .switched_ge_per_item(&self.dfs, &detail.activity_per_item),
-            })
+            };
+            if let Some(p) = &self.persist {
+                p.save_cost(cache_key, &summary);
+            }
+            Ok(summary)
         });
         Counters::bump(
             &self.counters.cost_queries,
@@ -392,9 +454,20 @@ impl CompiledModel {
         max_marks: u64,
     ) -> Result<SteadyStatePeriod, Error> {
         let slot = keyed_slot(&self.steady, (output, max_marks));
-        let (res, ran) = traced_once(&slot, || {
-            measure_steady_period(&self.dfs, output, max_marks, ChoicePolicy::AlwaysTrue)
-                .map_err(Error::from)
+        let mut ran = false;
+        let (res, _filled) = traced_once(&slot, || {
+            if let Some(p) = &self.persist {
+                if let Some(sp) = p.load_steady(output, max_marks) {
+                    return Ok(sp);
+                }
+            }
+            ran = true;
+            let r = measure_steady_period(&self.dfs, output, max_marks, ChoicePolicy::AlwaysTrue)
+                .map_err(Error::from);
+            if let (Some(p), Ok(sp)) = (&self.persist, &r) {
+                p.save_steady(output, max_marks, sp);
+            }
+            r
         });
         Counters::bump(
             &self.counters.steady_queries,

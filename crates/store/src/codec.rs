@@ -1,0 +1,162 @@
+//! Little-endian byte codec shared by the frame format and the payload
+//! encoders in `rap-session`.
+//!
+//! The vendored `serde` is an intentional no-op shim, so persistence is
+//! hand-rolled: a [`Writer`] appends fixed-width little-endian fields and
+//! length-prefixed strings; a [`Reader`] consumes them back, returning
+//! `None` on any truncation so decoders degrade to "corrupt frame"
+//! (quarantine + recompute) instead of panicking. Floats always travel as
+//! their IEEE-754 bit patterns ([`f64::to_bits`]) — the round-trip is
+//! bit-exact by construction, which is what the differential fault suite
+//! asserts.
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Checked little-endian decoder over a byte slice.
+///
+/// Every accessor returns `None` on underrun; [`Reader::finish`] returns
+/// `None` unless the slice was consumed exactly — trailing garbage is as
+/// corrupt as truncation.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Succeeds only if every byte has been consumed.
+    pub fn finish(self) -> Option<()> {
+        (self.pos == self.buf.len()).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_kinds() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str("critical: mul→acc");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 3));
+        assert_eq!(r.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(r.f64().map(f64::to_bits), Some(f64::NAN.to_bits()));
+        assert_eq!(r.str().as_deref(), Some("critical: mul→acc"));
+        assert_eq!(r.finish(), Some(()));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes[..7]);
+        assert_eq!(r.u64(), None);
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32(), Some(42));
+        assert_eq!(r.finish(), None); // 4 bytes left over
+
+        let mut r = Reader::new(&bytes);
+        let huge_len = r.u64().unwrap();
+        let mut r2 = Reader::new(&bytes);
+        // a string whose length prefix overruns the buffer must fail
+        assert_eq!(r2.str(), None);
+        assert_eq!(huge_len, 42);
+    }
+}

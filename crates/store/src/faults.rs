@@ -1,0 +1,197 @@
+//! [`FaultyStorage`] — deterministic fault injection over any [`Storage`].
+//!
+//! Each fault is armed explicitly and fires on the next matching
+//! operation (one-shot or counted), so tests script exact failure
+//! schedules: "tear the third write at byte 17", "fail the next two reads
+//! with EIO", "crash after the rename". Fired faults are counted so a
+//! test can assert its fault actually triggered — a fault plan that never
+//! fires is a test bug, not a pass.
+
+use crate::storage::Storage;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct FaultPlan {
+    /// `Some(k)`: the next write stores only the first `k` bytes of the
+    /// frame and *reports success* — a torn write / kill-at-byte-k.
+    torn_write_at: Option<usize>,
+    /// Fail the next `n` writes with ENOSPC.
+    enospc_writes: u64,
+    /// Fail the next `n` reads of non-lock files with EIO.
+    eio_reads: u64,
+    /// The next rename is skipped entirely and reported as failed — the
+    /// process "crashed" before the rename (temp file orphaned).
+    crash_before_rename: bool,
+    /// The next rename happens but is reported as failed — the process
+    /// "crashed" after the rename landed.
+    crash_after_rename: bool,
+    /// Liveness overrides for [`Storage::process_alive`].
+    pid_alive: HashMap<u32, bool>,
+}
+
+/// A [`Storage`] decorator injecting scripted faults: torn writes,
+/// `ENOSPC`, `EIO` reads, crashes around the commit rename, and pid
+/// liveness overrides for stale-lock scenarios.
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    plan: Mutex<FaultPlan>,
+    fired: AtomicU64,
+}
+
+impl std::fmt::Debug for FaultyStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyStorage")
+            .field("faults_fired", &self.faults_fired())
+            .finish()
+    }
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with an empty fault plan (fully transparent until a
+    /// fault is armed).
+    #[must_use]
+    pub fn new(inner: Arc<dyn Storage>) -> Arc<FaultyStorage> {
+        Arc::new(FaultyStorage {
+            inner,
+            plan: Mutex::new(FaultPlan::default()),
+            fired: AtomicU64::new(0),
+        })
+    }
+
+    fn plan(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
+        self.plan.lock().expect("fault plan")
+    }
+
+    fn fire(&self) {
+        self.fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many injected faults have actually triggered.
+    #[must_use]
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Arms a one-shot torn write: the next write persists only its first
+    /// `k` bytes yet reports success (silent corruption — the worst case).
+    pub fn arm_torn_write(&self, k: usize) {
+        self.plan().torn_write_at = Some(k);
+    }
+
+    /// Arms ENOSPC on the next `n` writes.
+    pub fn arm_enospc_writes(&self, n: u64) {
+        self.plan().enospc_writes = n;
+    }
+
+    /// Arms EIO on the next `n` artifact reads (lock-file reads are
+    /// exempt so lock handling stays scriptable independently).
+    pub fn arm_eio_reads(&self, n: u64) {
+        self.plan().eio_reads = n;
+    }
+
+    /// Arms a crash *before* the next rename: nothing moves, the commit
+    /// fails, the temp file is left for the orphan sweep.
+    pub fn arm_crash_before_rename(&self) {
+        self.plan().crash_before_rename = true;
+    }
+
+    /// Arms a crash *after* the next rename: the artifact lands but the
+    /// writer never learns it.
+    pub fn arm_crash_after_rename(&self) {
+        self.plan().crash_after_rename = true;
+    }
+
+    /// Overrides the liveness answer for `pid` (stale-lock and live-lock
+    /// scenarios without real processes).
+    pub fn set_pid_alive(&self, pid: u32, alive: bool) {
+        self.plan().pid_alive.insert(pid, alive);
+    }
+}
+
+fn is_lock_file(path: &Path) -> bool {
+    path.file_name().is_some_and(|n| n == "writer.lock")
+}
+
+impl Storage for FaultyStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if !is_lock_file(path) {
+            let mut plan = self.plan();
+            if plan.eio_reads > 0 {
+                plan.eio_reads -= 1;
+                drop(plan);
+                self.fire();
+                return Err(io::Error::other("injected EIO"));
+            }
+        }
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut plan = self.plan();
+        if plan.enospc_writes > 0 {
+            plan.enospc_writes -= 1;
+            drop(plan);
+            self.fire();
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            ));
+        }
+        if let Some(k) = plan.torn_write_at.take() {
+            drop(plan);
+            self.fire();
+            let cut = k.min(bytes.len());
+            // the torn prefix is written and success reported — the caller
+            // believes the commit went through
+            return self.inner.write(path, &bytes[..cut]);
+        }
+        drop(plan);
+        self.inner.write(path, bytes)
+    }
+
+    fn create_exclusive(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.inner.create_exclusive(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut plan = self.plan();
+        if plan.crash_before_rename {
+            plan.crash_before_rename = false;
+            drop(plan);
+            self.fire();
+            return Err(io::Error::other("injected crash before rename"));
+        }
+        if plan.crash_after_rename {
+            plan.crash_after_rename = false;
+            drop(plan);
+            self.fire();
+            self.inner.rename(from, to)?;
+            return Err(io::Error::other("injected crash after rename"));
+        }
+        drop(plan);
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn process_alive(&self, pid: u32) -> bool {
+        if let Some(&alive) = self.plan().pid_alive.get(&pid) {
+            return alive;
+        }
+        self.inner.process_alive(pid)
+    }
+}

@@ -1,0 +1,143 @@
+//! The [`Storage`] trait — the I/O seam everything in the store goes
+//! through — and its production implementation, [`DiskStorage`].
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Every filesystem operation the store performs, as a trait, so tests can
+/// substitute [`FaultyStorage`](crate::FaultyStorage) and inject torn
+/// writes, ENOSPC, read EIO, rename crashes and lock-liveness lies without
+/// touching a real disk's failure modes.
+pub trait Storage: Send + Sync {
+    /// Reads the entire file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error; `NotFound` is the ordinary
+    /// cache-miss signal.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates/truncates `path`, writes `bytes`, and flushes them to
+    /// stable storage (fsync) before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error (ENOSPC, EIO, …).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically creates `path` with `bytes`, failing with
+    /// `AlreadyExists` if it is present — the lock-file primitive.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` when the file is already there; otherwise the
+    /// underlying I/O error.
+    fn create_exclusive(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to`), making the
+    /// rename itself durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates `dir` and any missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Lists the file paths directly inside `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Whether the process `pid` is currently alive — the stale-lock
+    /// probe. Implementations that cannot tell must answer `true` (never
+    /// break a lock you cannot prove stale).
+    fn process_alive(&self, pid: u32) -> bool;
+}
+
+/// The real filesystem.
+///
+/// `write` fsyncs file contents; `rename` fsyncs the parent directory
+/// afterwards so the new directory entry is durable too — together these
+/// make the temp-write + rename commit in
+/// [`Store::save`](crate::Store::save) atomic and durable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskStorage;
+
+impl Storage for DiskStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn create_exclusive(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        // make the directory entry durable; failure here does not undo the
+        // rename, and a lost-on-power-cut entry is just a cache miss later
+        if let Some(parent) = to.parent() {
+            if let Ok(d) = fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn process_alive(&self, pid: u32) -> bool {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn process_alive(&self, _pid: u32) -> bool {
+        // cannot probe: claim alive, so locks are never broken wrongly
+        true
+    }
+}

@@ -1,0 +1,137 @@
+//! Wall-clock deadline budget: determinism and typed-outcome contract.
+//!
+//! `ExploreConfig::deadline` / `EngineConfig::deadline` turn runaway
+//! explorations into the existing typed `Truncated` / `Inconclusive`
+//! outcomes. The clock is consulted only at level-commit barriers, so the
+//! cut prefix is always a complete-level prefix of the canonical BFS
+//! order — this suite pins the two halves of that contract:
+//!
+//! * **zero deadline** cuts after the *first* level commit, at every
+//!   thread count, producing the identical (bit-for-bit) one-level graph
+//!   each time — the only deterministically reachable cut point, and the
+//!   proof that a deadline cut is a BFS-order prefix, not an arbitrary
+//!   scheduler artifact;
+//! * **unreachable deadline** changes nothing: the graph equals the
+//!   undeadlined exploration exactly.
+
+use rap::dfs::pipelines::{build_pipeline, PipelineSpec};
+use rap::dfs::to_petri;
+use rap::petri::analysis::{quick_check, quick_check_with, QuickVerdict};
+use rap::petri::reachability::{explore_truncated, ExploreConfig, StateId, StateSpace};
+use rap::petri::TransitionId;
+use std::time::Duration;
+
+type Fingerprint = Vec<(Vec<u64>, Vec<(TransitionId, StateId)>)>;
+
+fn fingerprint(space: &StateSpace) -> Fingerprint {
+    let words = space.word_count();
+    let mut raw = vec![0u64; words];
+    space
+        .states()
+        .map(|s| {
+            space.fill_marking_words(s, &mut raw);
+            (raw.clone(), space.successors(s).to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn zero_deadline_cuts_after_first_level_commit_at_every_thread_count() {
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 1).unwrap()).unwrap();
+    let img = to_petri(&p.dfs);
+    let mut graphs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let space = explore_truncated(
+            &img.net,
+            ExploreConfig {
+                max_states: 100_000,
+                threads,
+                deadline: Some(Duration::ZERO),
+            },
+        );
+        assert!(space.is_truncated(), "zero deadline must truncate");
+        assert!(!space.is_empty(), "the initial state is always committed");
+        graphs.push((threads, fingerprint(&space)));
+    }
+    let (_, first) = &graphs[0];
+    for (threads, g) in &graphs[1..] {
+        assert_eq!(
+            g, first,
+            "deadline cut differs between 1 and {threads} threads"
+        );
+    }
+    // the cut prefix is exactly the full exploration's first BFS levels:
+    // same states, same ids, same edges among them
+    let full = explore_truncated(
+        &img.net,
+        ExploreConfig {
+            max_states: 100_000,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(!full.is_truncated());
+    let full_fp = fingerprint(&full);
+    let cut = &graphs[0].1;
+    assert!(cut.len() < full_fp.len(), "zero deadline cut early");
+    for (i, (marking, succs)) in cut.iter().enumerate() {
+        assert_eq!(marking, &full_fp[i].0, "state {i} diverges from BFS order");
+        // edges to states beyond the cut exist only in the full graph;
+        // within the prefix, every recorded edge matches
+        for edge in succs {
+            assert!(full_fp[i].1.contains(edge), "alien edge {edge:?} at {i}");
+        }
+    }
+}
+
+#[test]
+fn unreachable_deadline_is_a_no_op() {
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 1).unwrap()).unwrap();
+    let img = to_petri(&p.dfs);
+    let with = explore_truncated(
+        &img.net,
+        ExploreConfig {
+            max_states: 100_000,
+            threads: 2,
+            deadline: Some(Duration::from_secs(3600)),
+        },
+    );
+    let without = explore_truncated(
+        &img.net,
+        ExploreConfig {
+            max_states: 100_000,
+            threads: 2,
+            deadline: None,
+        },
+    );
+    assert!(!with.is_truncated());
+    assert_eq!(fingerprint(&with), fingerprint(&without));
+}
+
+#[test]
+fn deadline_cut_quick_check_degrades_to_inconclusive_not_wrong() {
+    let p = build_pipeline(&PipelineSpec::reconfigurable_depth(3, 1).unwrap()).unwrap();
+    let img = to_petri(&p.dfs);
+    let pairs = img.complementary_pairs();
+    // the reference: an exhaustive check — the model is clean
+    let exhaustive = quick_check(&img.net, &pairs, 1_000_000);
+    assert!(exhaustive.is_clean());
+    // a time-boxed check over a tiny prefix must say Inconclusive (the
+    // prefix holds), never Violated, never Holds
+    let cut = quick_check_with(
+        &img.net,
+        &pairs,
+        &ExploreConfig {
+            max_states: 1_000_000,
+            threads: 2,
+            deadline: Some(Duration::ZERO),
+        },
+    );
+    assert!(cut.truncated);
+    assert_eq!(
+        cut.deadlock_free,
+        QuickVerdict::Inconclusive { budget: 1_000_000 }
+    );
+    assert_eq!(cut.safe, QuickVerdict::Inconclusive { budget: 1_000_000 });
+    assert!(cut.deadlock.is_none());
+    assert!(cut.unsafe_witness.is_none());
+}

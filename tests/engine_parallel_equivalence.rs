@@ -117,6 +117,7 @@ fn assert_parallel_equivalent(net: &PetriNet, max_states: usize) -> Result<(), T
             ExploreConfig {
                 max_states,
                 threads,
+                deadline: None,
             },
         );
         assert_spaces_identical(&par, &serial, &format!("threads={threads}"))?;
@@ -136,6 +137,7 @@ fn assert_lts_parallel_equivalent(dfs: &Dfs, max_states: usize) -> Result<(), Te
                     max_states,
                     threads,
                     anchor_interval,
+                    deadline: None,
                 },
                 None,
             );
@@ -202,6 +204,7 @@ fn wagged_shapes_parallel_equals_serial() {
                     ExploreConfig {
                         max_states: cap,
                         threads,
+                        deadline: None,
                     },
                 );
                 assert_eq!(par.len(), serial.len(), "ways={ways} threads={threads}");
@@ -225,6 +228,7 @@ fn parallel_witness_traces_replay() {
         ExploreConfig {
             max_states: 2_000,
             threads: 8,
+            deadline: None,
         },
     );
     assert!(space.is_truncated());

@@ -70,6 +70,7 @@ fn wagged2_lts_quotient_matches_petri_quotient() {
         max_states: 2_000_000,
         threads: 0,
         anchor_interval: 0,
+        deadline: None,
     };
     let quo = Lts::explore_with(&w.dfs, &cfg, Some(&sym));
     assert!(!quo.is_truncated());
@@ -121,6 +122,7 @@ fn wagged3_quotient_explores_only_canonical_representatives() {
         rap::petri::reachability::ExploreConfig {
             max_states: 5_000,
             threads: 2,
+            deadline: None,
         },
         &ssym,
     );
