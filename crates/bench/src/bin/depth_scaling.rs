@@ -9,6 +9,10 @@ use rap_ope::{ChipTimingModel, PipelineKind, SyncStyle};
 
 fn main() {
     let cli = BenchCli::parse("depth_scaling", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Depth scaling — time/energy vs pipeline length at several voltages");
     let m = ChipTimingModel::paper_calibrated();
     let voltages = [0.5, 0.8, 1.2, 1.6];

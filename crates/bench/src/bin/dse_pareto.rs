@@ -9,7 +9,7 @@
 //! nominal sizing and supply — must appear on the demand-4 front, with
 //! its exact period-19 row from `fig5_performance`.
 //!
-//! Usage: `dse_pareto [--quick] [--out PATH] [--cache DIR]`
+//! Usage: `dse_pareto [--quick] [--out PATH] [--cache DIR] [--trace-out PATH]`
 //!
 //! `--quick` sweeps the 48-point smoke space over 3-stage hardware (the
 //! CI configuration) and additionally cross-checks the parallel driver
@@ -20,10 +20,14 @@
 //! sweep always ends with an in-process restart pass — a fresh session
 //! over the store — that must reproduce the fronts bit-identically with
 //! zero full evaluations. The emitted JSON is schema-validated before the
-//! process exits.
+//! process exits. `--trace-out` attaches a live collector and writes the
+//! run's `rap/trace/v1` profile (pass/sweep/eval spans, session and store
+//! counters, disk-latency histograms) — observation-only, the fronts and
+//! the `BENCH_dse.json` numbers are unchanged by it.
 
 use rap_bench::cli::BenchCli;
-use rap_bench::dse::{design_point, render_json, run_sweep, validate};
+use rap_bench::dse::{design_point, render_json_with_trace, run_sweep_traced, validate};
+use rap_bench::trace::TraceSink;
 use rap_bench::{banner, num, row};
 use rap_dse::{explore, DseConfig};
 use rap_silicon::cost::CostModel;
@@ -32,6 +36,7 @@ fn main() {
     let cli = BenchCli::parse_with_cache("dse_pareto", Some("BENCH_dse.json"));
     let quick = cli.quick;
     let out = cli.out_path();
+    let sink = TraceSink::from_cli(&cli);
 
     banner(if quick {
         "Design-space exploration (quick smoke space)"
@@ -39,7 +44,7 @@ fn main() {
         "Design-space exploration: which pipeline should I build?"
     });
 
-    let run = run_sweep(quick, cli.cache.as_deref());
+    let run = run_sweep_traced(quick, cli.cache.as_deref(), &sink.obs());
     let stats = run.outcome.stats;
     println!(
         "{} configurations in {} ms on {} threads: {} full evaluations, \
@@ -118,6 +123,8 @@ fn main() {
 
     if quick {
         // cross-check the parallel driver against a single-threaded sweep
+        // (spanned so a traced run's coverage accounts for this time too)
+        let crosscheck_span = sink.obs().span("bench.crosscheck");
         let serial = explore(
             &rap_bench::dse::paper_space(true),
             &CostModel::default(),
@@ -126,6 +133,7 @@ fn main() {
                 ..DseConfig::default()
             },
         );
+        drop(crosscheck_span);
         let same = serial.fronts.len() == run.outcome.fronts.len()
             && serial.fronts.iter().all(|(w, f)| {
                 run.outcome.front(*w).len() == f.len()
@@ -143,7 +151,11 @@ fn main() {
         }
     }
 
-    let json = render_json(&run);
+    // the trace (if any) is snapshotted after every pass has closed its
+    // spans, written to --trace-out, and self-validated against the
+    // rap/trace/v1 schema; its summary is embedded into the BENCH json
+    let trace = sink.finish();
+    let json = render_json_with_trace(&run, trace.as_ref());
     let summary = validate(&json).unwrap_or_else(|e| {
         eprintln!("emitted JSON failed its own schema validation: {e}");
         std::process::exit(1);

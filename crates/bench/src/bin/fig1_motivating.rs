@@ -17,6 +17,10 @@ const COMP_DELAY: f64 = 5.0;
 
 fn main() {
     let cli = BenchCli::parse("fig1_motivating", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     // --quick: fewer measured tokens and hit-rates (CI smoke)
     let out_tokens: u64 = if cli.quick { 120 } else { 400 };
     let hit_rates: &[f64] = if cli.quick {

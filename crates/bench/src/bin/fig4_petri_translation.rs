@@ -14,6 +14,10 @@ use rap_petri::reachability::{explore, ExploreConfig};
 
 fn main() {
     let cli = BenchCli::parse("fig4_petri_translation", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Fig. 4 — Petri-net image of the Fig. 1b DFS model");
     let model = conditional_dfs(1, 3.0).unwrap();
     let img = to_petri(&model.dfs);

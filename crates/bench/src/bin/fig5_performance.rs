@@ -28,6 +28,10 @@ fn construction_tag(c: Construction) -> String {
 
 fn main() {
     let cli = BenchCli::parse("fig5_performance", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Fig. 5 — dataflow performance analysis (cycles, bottlenecks)");
 
     for (name, pipe) in [

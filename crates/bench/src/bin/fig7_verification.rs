@@ -15,6 +15,10 @@ use rap_bench::cli::BenchCli;
 
 fn main() {
     let cli = BenchCli::parse("fig7_verification", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Fig. 7 — verification of reconfigurable OPE configurations");
     let cfg = VerifyConfig {
         max_states: 10_000_000,

@@ -14,6 +14,10 @@ const SEED: u32 = 0x5EED_0001;
 
 fn main() {
     let cli = BenchCli::parse("fig8_chip", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     // --quick: fewer LFSR items per checksum run (CI smoke)
     let count: u64 = if cli.quick { 20_000 } else { 200_000 };
     banner("Fig. 8 — OPE chip: structure and checksum validation");

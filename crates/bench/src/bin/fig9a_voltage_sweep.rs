@@ -13,6 +13,10 @@ use rap_ope::{ChipTimingModel, PipelineKind, SyncStyle};
 
 fn main() {
     let cli = BenchCli::parse("fig9a_voltage_sweep", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Fig. 9a — computation time and energy vs supply voltage (16M items)");
     let m = ChipTimingModel::paper_calibrated();
     let static_k = PipelineKind::Static;

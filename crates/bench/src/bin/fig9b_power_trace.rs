@@ -13,6 +13,10 @@ use rap_silicon::VoltageProfile;
 
 fn main() {
     let cli = BenchCli::parse("fig9b_power_trace", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Fig. 9b — power at a changing supply voltage (freeze and recovery)");
     let m = ChipTimingModel::paper_calibrated();
     let kind = PipelineKind::Reconfigurable {

@@ -12,6 +12,10 @@ use rap_silicon::verilog::to_verilog;
 
 fn main() {
     let cli = BenchCli::parse("flow_verilog", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run(&cli));
+}
+
+fn run(cli: &BenchCli) {
     banner("Flow — DFS -> NCL-D netlist -> Verilog export");
 
     // a small OPE-style stage: window register + comparator + rank adder

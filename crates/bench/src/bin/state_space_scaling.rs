@@ -9,27 +9,33 @@
 //! `BENCH_state_space.json` (schema v2) at the repository root (the
 //! recorded perf trajectory of the verification hot path).
 //!
-//! Usage: `state_space_scaling [--quick] [--out PATH]`
+//! Usage: `state_space_scaling [--quick] [--out PATH] [--trace-out PATH]`
 //!
 //! `--quick` restricts the sweep to sub-second shapes (the CI smoke
 //! configuration); `--out` overrides the output path. The emitted JSON is
-//! schema-validated before the process exits.
+//! schema-validated before the process exits. `--trace-out` attaches a
+//! live collector and writes the run's `rap/trace/v1` profile — per-case
+//! spans with the engine's per-level expand/dedup/commit breakdown — and
+//! embeds its summary into the BENCH json; recording is observation-only,
+//! so every measured number is unchanged.
 
 use rap_bench::cli::BenchCli;
-use rap_bench::state_space::{render_json, run_sweep, validate, THREADS};
+use rap_bench::state_space::{render_json_with_trace, run_sweep_traced, validate, THREADS};
+use rap_bench::trace::TraceSink;
 use rap_bench::{banner, num, row};
 
 fn main() {
     let cli = BenchCli::parse("state_space_scaling", Some("BENCH_state_space.json"));
     let quick = cli.quick;
     let out = cli.out_path();
+    let sink = TraceSink::from_cli(&cli);
 
     banner(if quick {
         "State-space scaling (quick sweep): naive vs serial vs parallel engine"
     } else {
         "State-space scaling: naive vs serial vs parallel engine"
     });
-    let cases = run_sweep(quick);
+    let cases = run_sweep_traced(quick, &sink.obs());
 
     let widths = [27usize, 6, 9, 11, 11, 8, 20, 10];
     let thread_header = THREADS
@@ -82,7 +88,8 @@ fn main() {
         );
     }
 
-    let json = render_json(&cases, quick);
+    let trace = sink.finish();
+    let json = render_json_with_trace(&cases, quick, trace.as_ref());
     let summary = validate(&json).unwrap_or_else(|e| {
         eprintln!("emitted JSON failed its own schema validation: {e}");
         std::process::exit(1);

@@ -15,7 +15,11 @@ use rap_ope::reference::{rank_list, windows_ranked};
 
 fn main() {
     // already instant; --quick is accepted for CLI uniformity
-    let _cli = BenchCli::parse("table_ranklists", None);
+    let cli = BenchCli::parse("table_ranklists", None);
+    rap_bench::trace::with_trace(&cli, |_obs| run());
+}
+
+fn run() {
     banner("§III-A — OPE example: stream (3,1,4,1,5,9,2,6), window size N = 6");
     let stream: Vec<u16> = vec![3, 1, 4, 1, 5, 9, 2, 6];
     println!("Index  Window                Rank list");

@@ -11,7 +11,12 @@
 //!   [`rap_session::Session`](../../rap_session/struct.Session.html)
 //!   (currently `dse_pareto`), keep the artifact store at `DIR` so
 //!   re-invocations start disk-warm (default: a scratch store discarded
-//!   after the run).
+//!   after the run);
+//! * `--trace-out PATH` — attach a live [`rap_obs::Collector`] to the run
+//!   and write the resulting `rap/trace/v1` document (see
+//!   [`crate::trace`]) to `PATH`. Every binary accepts this; recording is
+//!   observation-only, so the benchmark's reported numbers and emitted
+//!   `BENCH_*.json` are unchanged by it.
 //!
 //! Anything else exits with status 2 and a usage line naming the binary —
 //! previously every JSON-emitting binary hand-rolled this loop, and the
@@ -28,6 +33,10 @@ pub struct BenchCli {
     /// `--cache DIR`: persistent artifact-store directory (only on
     /// binaries that opt in; `None` = scratch store).
     pub cache: Option<PathBuf>,
+    /// `--trace-out PATH`: write a `rap/trace/v1` trace of the run to
+    /// `PATH` (`None` = no recorder attached, tracing compiles to
+    /// nothing on the hot paths).
+    pub trace_out: Option<PathBuf>,
     out: Option<PathBuf>,
     default_out: Option<&'static str>,
     accepts_cache: bool,
@@ -58,9 +67,11 @@ impl BenchCli {
         let cache = if accepts_cache { " [--cache DIR]" } else { "" };
         match default_out {
             Some(file) => {
-                format!("usage: {bin} [--quick] [--out PATH]{cache}   (default out: {file})")
+                format!(
+                    "usage: {bin} [--quick] [--out PATH]{cache} [--trace-out PATH]   (default out: {file})"
+                )
             }
-            None => format!("usage: {bin} [--quick]{cache}"),
+            None => format!("usage: {bin} [--quick]{cache} [--trace-out PATH]"),
         }
     }
 
@@ -96,6 +107,7 @@ impl BenchCli {
         let mut cli = BenchCli {
             quick: false,
             cache: None,
+            trace_out: None,
             out: None,
             default_out,
             accepts_cache,
@@ -121,6 +133,15 @@ impl BenchCli {
                         )
                     })?;
                     cli.cache = Some(PathBuf::from(dir));
+                }
+                "--trace-out" => {
+                    let path = args.next().ok_or_else(|| {
+                        format!(
+                            "--trace-out needs a path argument\n{}",
+                            Self::usage(bin, default_out, accepts_cache)
+                        )
+                    })?;
+                    cli.trace_out = Some(PathBuf::from(path));
                 }
                 other => {
                     return Err(format!(
@@ -202,6 +223,31 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--cache needs a directory argument"));
         assert!(err.contains("[--cache DIR]"));
+    }
+
+    #[test]
+    fn trace_out_is_universal() {
+        // accepted by output-file binaries …
+        let cli = BenchCli::parse_from(
+            "dse_pareto",
+            Some("BENCH_dse.json"),
+            args(&["--trace-out", "/tmp/t.json"]),
+        )
+        .unwrap();
+        assert_eq!(cli.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        // … and by no-output binaries alike
+        let cli = BenchCli::parse_from(
+            "fig5_performance",
+            None,
+            args(&["--trace-out", "/tmp/t.json"]),
+        )
+        .unwrap();
+        assert_eq!(cli.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        // missing operand names the flag and the usage line advertises it
+        let err =
+            BenchCli::parse_from("fig5_performance", None, args(&["--trace-out"])).unwrap_err();
+        assert!(err.contains("--trace-out needs a path argument"));
+        assert!(err.contains("[--trace-out PATH]"));
     }
 
     #[test]

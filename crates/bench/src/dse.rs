@@ -18,7 +18,8 @@
 
 use crate::json::{escape, Json};
 use rap_dse::pareto::Objectives;
-use rap_dse::{explore_with_session, DesignSpace, DseConfig, DseOutcome, Hardware};
+use rap_dse::{explore_traced, DesignSpace, DseConfig, DseOutcome, Hardware};
+use rap_obs::{Obs, Snapshot};
 use rap_ope::dfs_model::ope_stage_delays;
 use rap_silicon::cost::CostModel;
 use std::time::Instant;
@@ -136,6 +137,20 @@ pub struct SweepRun {
 /// pruning disabled in `rap-dse`'s test-suite).
 #[must_use]
 pub fn run_sweep(quick: bool, cache: Option<&std::path::Path>) -> SweepRun {
+    run_sweep_traced(quick, cache, &Obs::none())
+}
+
+/// [`run_sweep`] with a recorder attached: the three passes open
+/// `dse.pass.cold` / `dse.pass.warm` / `dse.pass.restart` spans under
+/// `obs`, each sweep's `dse.sweep`/`dse.eval` spans and provenance events
+/// nest inside its pass, and the sessions/stores are opened traced so the
+/// full query lifecycle (`session.*`) and disk latencies (`store.*_ns`)
+/// land in the same collector. Recording is observation-only: the
+/// returned fronts are bit-identical to an untraced run (this very
+/// function asserts front equality across its own passes either way, and
+/// `tests/trace_schema.rs` asserts it across traced/untraced runs).
+#[must_use]
+pub fn run_sweep_traced(quick: bool, cache: Option<&std::path::Path>, obs: &Obs) -> SweepRun {
     let space = paper_space(quick);
     let cost = CostModel::default();
     let cfg = DseConfig::default();
@@ -152,16 +167,27 @@ pub fn run_sweep(quick: bool, cache: Option<&std::path::Path>) -> SweepRun {
             (dir, true)
         }
     };
-    let session = rap_session::Session::open(&store_dir)
-        .unwrap_or_else(|e| panic!("cannot open artifact store {}: {e:?}", store_dir.display()));
+    // store opens do real I/O (dir creation, lock fsync, orphan sweep):
+    // keep them inside spans so cold-cache runs stay fully accounted
+    let session = {
+        let _span = obs.span("session.open");
+        rap_session::Session::open_traced(&store_dir, obs.clone())
+            .unwrap_or_else(|e| panic!("cannot open artifact store {}: {e:?}", store_dir.display()))
+    };
     let t0 = Instant::now();
-    let outcome = explore_with_session(&space, &cost, &cfg, &session);
+    let outcome = {
+        let pass = obs.span("dse.pass.cold");
+        explore_traced(&space, &cost, &cfg, &session, &pass.obs())
+    };
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
     // warm pass: the identical space against the populated session — the
     // cross-sweep artifact cache serves every structure, so the fronts
     // must be identical and (almost) no full evaluation happens
     let t1 = Instant::now();
-    let warm = explore_with_session(&space, &cost, &cfg, &session);
+    let warm = {
+        let pass = obs.span("dse.pass.warm");
+        explore_traced(&space, &cost, &cfg, &session, &pass.obs())
+    };
     let warm_elapsed_ms = t1.elapsed().as_secs_f64() * 1e3;
     assert_fronts_identical(&outcome, &warm);
     assert!(
@@ -173,10 +199,16 @@ pub fn run_sweep(quick: bool, cache: Option<&std::path::Path>) -> SweepRun {
     // served from disk, so the fronts are bit-identical at zero full
     // evaluations: the crash-safety contract, measured
     drop(session);
-    let session = rap_session::Session::open(&store_dir)
-        .unwrap_or_else(|e| panic!("cannot reopen artifact store: {e:?}"));
+    let session = {
+        let _span = obs.span("session.open");
+        rap_session::Session::open_traced(&store_dir, obs.clone())
+            .unwrap_or_else(|e| panic!("cannot reopen artifact store: {e:?}"))
+    };
     let t2 = Instant::now();
-    let restart = explore_with_session(&space, &cost, &cfg, &session);
+    let restart = {
+        let pass = obs.span("dse.pass.restart");
+        explore_traced(&space, &cost, &cfg, &session, &pass.obs())
+    };
     let restart_elapsed_ms = t2.elapsed().as_secs_f64() * 1e3;
     assert_fronts_identical(&outcome, &restart);
     assert_eq!(
@@ -190,6 +222,7 @@ pub fn run_sweep(quick: bool, cache: Option<&std::path::Path>) -> SweepRun {
     );
     drop(session);
     if scratch {
+        let _span = obs.span("bench.cleanup");
         let _ = std::fs::remove_dir_all(&store_dir);
     }
     assert_eq!(outcome.stats.errors, 0, "sweep produced evaluation errors");
@@ -234,8 +267,14 @@ pub fn run_sweep(quick: bool, cache: Option<&std::path::Path>) -> SweepRun {
 
 /// Bitwise front equality between two sweeps of the same space (labels,
 /// objectives, periods): what "the cache changes the cost, never the
-/// answer" means operationally.
-fn assert_fronts_identical(a: &DseOutcome, b: &DseOutcome) {
+/// answer" means operationally — and, since tracing is observation-only,
+/// also what "a recorder changes nothing" means (`tests/trace_schema.rs`
+/// pins a traced sweep against an untraced one with this).
+///
+/// # Panics
+///
+/// On the first differing front entry.
+pub fn assert_fronts_identical(a: &DseOutcome, b: &DseOutcome) {
     assert_eq!(a.fronts.len(), b.fronts.len(), "front count differs");
     for (workload, fa) in &a.fronts {
         let fb = b.front(*workload);
@@ -271,6 +310,15 @@ fn check_tag(truncated: bool) -> &'static str {
 /// Renders a sweep as the `BENCH_dse.json` document.
 #[must_use]
 pub fn render_json(run: &SweepRun) -> String {
+    render_json_with_trace(run, None)
+}
+
+/// [`render_json`] with an optional `trace_summary` block (wall-clock,
+/// span coverage, top-5 spans by self-time) from a traced run's
+/// [`Snapshot`]. The block is additive: the document stays schema-valid
+/// with or without it, and every measured number is unchanged.
+#[must_use]
+pub fn render_json_with_trace(run: &SweepRun, trace: Option<&Snapshot>) -> String {
     let stats = run.outcome.stats;
     let mut out = String::new();
     out.push_str("{\n");
@@ -278,6 +326,12 @@ pub fn render_json(run: &SweepRun) -> String {
     out.push_str(&format!("  \"quick\": {},\n", run.quick));
     out.push_str(&format!("  \"threads\": {},\n", run.threads));
     out.push_str(&format!("  \"elapsed_ms\": {:.3},\n", run.elapsed_ms));
+    if let Some(snap) = trace {
+        out.push_str(&format!(
+            "  \"trace_summary\": {},\n",
+            crate::trace::summary_block(snap, "  ")
+        ));
+    }
     out.push_str("  \"stats\": {\n");
     out.push_str(&format!("    \"configurations\": {},\n", stats.enumerated));
     out.push_str(&format!(
@@ -473,6 +527,28 @@ pub fn validate(src: &str) -> Result<Summary, String> {
         .and_then(Json::as_f64)
         .filter(|x| x.is_finite() && *x >= 0.0)
         .ok_or("missing non-negative \"elapsed_ms\"")?;
+    // optional (only present when the run was traced), but well-formed
+    // when it is there
+    if let Some(ts) = doc.get("trace_summary") {
+        ts.get("wall_ns")
+            .and_then(Json::as_f64)
+            .filter(|x| *x >= 1.0)
+            .ok_or("trace_summary: missing positive \"wall_ns\"")?;
+        ts.get("coverage")
+            .and_then(Json::as_f64)
+            .filter(|x| (0.0..=1.0).contains(x))
+            .ok_or("trace_summary: missing \"coverage\" in [0, 1]")?;
+        let top = ts
+            .get("top_self")
+            .and_then(Json::as_arr)
+            .ok_or("trace_summary: missing \"top_self\" array")?;
+        if top.len() > 5 {
+            return Err(format!(
+                "trace_summary: top_self has {} entries (max 5)",
+                top.len()
+            ));
+        }
+    }
 
     let stats = doc.get("stats").ok_or("missing \"stats\"")?;
     let stat = |k: &str| -> Result<usize, String> {

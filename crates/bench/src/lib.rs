@@ -9,6 +9,7 @@ pub mod cli;
 pub mod dse;
 pub mod json;
 pub mod state_space;
+pub mod trace;
 
 /// The paper's reference measurements (static pipeline at nominal voltage,
 /// §IV): 1.22 s and 2.74 mJ for 16M items.

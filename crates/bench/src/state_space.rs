@@ -20,10 +20,11 @@ use crate::json::{escape, Json};
 use dfs_core::pipelines::{build_pipeline, PipelineSpec};
 use dfs_core::wagging::wagged_pipeline;
 use dfs_core::{node_rotation_symmetry, to_petri, Dfs, Lts};
+use rap_obs::{Obs, Snapshot};
 use rap_petri::engine::EngineConfig;
 use rap_petri::reachability::{
-    explore_naive_truncated, explore_quotient_truncated, explore_serial_truncated,
-    explore_truncated, ExploreConfig,
+    explore_naive_truncated, explore_quotient_truncated_traced, explore_serial_truncated,
+    explore_truncated_traced, ExploreConfig,
 };
 use std::time::Instant;
 
@@ -115,7 +116,13 @@ fn cfg(threads: usize) -> ExploreConfig {
     }
 }
 
-fn petri_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) -> Case {
+fn petri_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>, obs: &Obs) -> Case {
+    // one span per case; the parallel/quotient explorations below feed
+    // their per-level expand/dedup/commit spans into it, so a traced
+    // BENCH_state_space.json can attribute each case's time to the
+    // engine's phases
+    let case_span = obs.span("bench.case.petri");
+    let cobs = case_span.obs();
     let img = to_petri(dfs);
     let (naive, naive_ms) = best_of(reps, || explore_naive_truncated(&img.net, cfg(1)));
     let (serial, engine_ms) = best_of(reps, || explore_serial_truncated(&img.net, cfg(1)));
@@ -126,7 +133,7 @@ fn petri_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) 
     );
     let mut threads = Vec::new();
     for &t in THREADS {
-        let (par, ms) = best_of(reps, || explore_truncated(&img.net, cfg(t)));
+        let (par, ms) = best_of(reps, || explore_truncated_traced(&img.net, cfg(t), &cobs));
         assert_eq!(
             (par.len(), par.is_truncated()),
             (serial.len(), serial.is_truncated()),
@@ -140,7 +147,9 @@ fn petri_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) 
                 .induced_symmetry(perm)
                 .expect("way rotation induces a net automorphism")
                 .state_symmetry();
-            let (quo, ms) = best_of(reps, || explore_quotient_truncated(&img.net, cfg(1), &sym));
+            let (quo, ms) = best_of(reps, || {
+                explore_quotient_truncated_traced(&img.net, cfg(1), &sym, &cobs)
+            });
             assert!(!quo.is_truncated(), "{name}: quotient truncated");
             (Some(quo.len()), Some(ms))
         }
@@ -159,7 +168,9 @@ fn petri_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) 
     }
 }
 
-fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) -> Case {
+fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>, obs: &Obs) -> Case {
+    let case_span = obs.span("bench.case.lts");
+    let cobs = case_span.obs();
     let (naive, naive_ms) = best_of(reps, || Lts::explore_naive_truncated(dfs, MAX_STATES));
     let (serial, engine_ms) = best_of(reps, || Lts::explore_serial_truncated(dfs, MAX_STATES));
     assert_eq!(
@@ -175,7 +186,9 @@ fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) ->
     };
     let mut threads = Vec::new();
     for &t in THREADS {
-        let (par, ms) = best_of(reps, || Lts::explore_with(dfs, &ecfg(t), None));
+        let (par, ms) = best_of(reps, || {
+            Lts::explore_with_traced(dfs, &ecfg(t), None, &cobs)
+        });
         assert_eq!(
             (par.len(), par.is_truncated()),
             (serial.len(), serial.is_truncated()),
@@ -187,7 +200,9 @@ fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) ->
         Some(perm) => {
             let sym = node_rotation_symmetry(dfs, perm)
                 .expect("way rotation is a structural automorphism");
-            let (quo, ms) = best_of(reps, || Lts::explore_with(dfs, &ecfg(1), Some(&sym)));
+            let (quo, ms) = best_of(reps, || {
+                Lts::explore_with_traced(dfs, &ecfg(1), Some(&sym), &cobs)
+            });
             assert!(!quo.is_truncated(), "{name}: quotient truncated");
             (Some(quo.len()), Some(ms))
         }
@@ -211,6 +226,19 @@ fn lts_case(name: &str, dfs: &Dfs, reps: usize, way_rotation: Option<&[u32]>) ->
 /// and the 2-way wagged pipeline (~1.5M states).
 #[must_use]
 pub fn run_sweep(quick: bool) -> Vec<Case> {
+    run_sweep_traced(quick, &Obs::none())
+}
+
+/// [`run_sweep`] with a recorder attached: each case opens a
+/// `bench.case.petri` / `bench.case.lts` span, and the parallel and
+/// quotient explorations inside it emit the engine's per-level
+/// `engine.level.expand` / `engine.level.dedup` / `engine.level.commit`
+/// spans plus the `engine.*` counters — so a traced
+/// `BENCH_state_space.json` can attribute each case's wall-clock to the
+/// engine's phases. Recording is observation-only: states, truncation and
+/// every thread-count-invariance assertion are unchanged.
+#[must_use]
+pub fn run_sweep_traced(quick: bool, obs: &Obs) -> Vec<Case> {
     let reconfig = |n: usize, k: usize| {
         build_pipeline(&PipelineSpec::reconfigurable_depth(n, k).expect("valid sweep shape"))
             .expect("pipeline builds")
@@ -224,41 +252,47 @@ pub fn run_sweep(quick: bool) -> Vec<Case> {
         &reconfig(2, 2),
         5,
         None,
+        obs,
     ));
     cases.push(lts_case(
         "reconfigurable_depth(2,2)",
         &reconfig(2, 2),
         5,
         None,
+        obs,
     ));
     let w1 = wagged(1);
-    cases.push(petri_case("wagging(ways=1,depth=1)", &w1.dfs, 3, None));
+    cases.push(petri_case("wagging(ways=1,depth=1)", &w1.dfs, 3, None, obs));
     if !quick {
         cases.push(petri_case(
             "reconfigurable_depth(3,2)",
             &reconfig(3, 2),
             2,
             None,
+            obs,
         ));
         cases.push(petri_case(
             "reconfigurable_depth(3,3)",
             &reconfig(3, 3),
             3,
             None,
+            obs,
         ));
         cases.push(lts_case(
             "reconfigurable_depth(3,3)",
             &reconfig(3, 3),
             2,
             None,
+            obs,
         ));
-        cases.push(lts_case("wagging(ways=1,depth=1)", &w1.dfs, 3, None));
+        cases.push(lts_case("wagging(ways=1,depth=1)", &w1.dfs, 3, None, obs));
         let w2 = wagged(2);
         cases.push(petri_case(
             "wagging(ways=2,depth=1)",
             &w2.dfs,
             1,
             Some(&w2.way_rotation),
+            obs,
         ));
     }
     cases
@@ -267,11 +301,27 @@ pub fn run_sweep(quick: bool) -> Vec<Case> {
 /// Renders the sweep as the `BENCH_state_space.json` document.
 #[must_use]
 pub fn render_json(cases: &[Case], quick: bool) -> String {
+    render_json_with_trace(cases, quick, None)
+}
+
+/// [`render_json`] with an optional `trace_summary` block from a traced
+/// run's [`Snapshot`] — the per-level engine spans let the document say
+/// how the sweep's wall-clock splits across expand/dedup/commit. The
+/// block is additive: the document stays schema-valid without it and
+/// every measured number is unchanged.
+#[must_use]
+pub fn render_json_with_trace(cases: &[Case], quick: bool, trace: Option<&Snapshot>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": {},\n", escape(SCHEMA)));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"max_states\": {MAX_STATES},\n"));
+    if let Some(snap) = trace {
+        out.push_str(&format!(
+            "  \"trace_summary\": {},\n",
+            crate::trace::summary_block(snap, "  ")
+        ));
+    }
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str("    {\n");
@@ -369,6 +419,21 @@ pub fn validate(src: &str) -> Result<Summary, String> {
     doc.get("quick")
         .and_then(Json::as_bool)
         .ok_or("missing boolean \"quick\"")?;
+    // optional (only present when the run was traced), but well-formed
+    // when it is there
+    if let Some(ts) = doc.get("trace_summary") {
+        ts.get("wall_ns")
+            .and_then(Json::as_f64)
+            .filter(|x| *x >= 1.0)
+            .ok_or("trace_summary: missing positive \"wall_ns\"")?;
+        ts.get("coverage")
+            .and_then(Json::as_f64)
+            .filter(|x| (0.0..=1.0).contains(x))
+            .ok_or("trace_summary: missing \"coverage\" in [0, 1]")?;
+        ts.get("top_self")
+            .and_then(Json::as_arr)
+            .ok_or("trace_summary: missing \"top_self\" array")?;
+    }
     let cases = doc
         .get("cases")
         .and_then(Json::as_arr)

@@ -1,0 +1,96 @@
+//! Tracing acceptance suite, mirroring `dse_schema.rs` for the trace
+//! exporter: a live-collector quick sweep must (a) leave the Pareto fronts
+//! bit-identical to an untraced run (recording is observation-only),
+//! (b) produce a `rap/trace/v1` document that passes the schema validator
+//! with span coverage at or above the floor, and (c) cost nothing
+//! measurable when the recorder is the no-op default.
+
+use rap_bench::dse::{assert_fronts_identical, run_sweep, run_sweep_traced};
+use rap_bench::trace::{render, validate, MIN_COVERAGE, SCHEMA};
+use rap_obs::{Collector, Obs};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[test]
+fn traced_sweep_is_schema_valid_and_front_identical() {
+    let collector = Arc::new(Collector::new());
+    let root = Obs::collecting(&collector);
+    let traced = {
+        // everything under one top span, exactly like the bins do, so the
+        // snapshot's coverage reflects the whole run
+        let main_span = root.span("bench.main");
+        run_sweep_traced(true, None, &main_span.obs())
+    };
+    // snapshot before anything else runs: the collector's wall-clock keeps
+    // ticking, so later work would dilute the coverage figure
+    let snap = collector.snapshot();
+    let untraced = run_sweep(true, None);
+
+    // observation-only: same fronts bit-for-bit (labels, periods, order)
+    assert_fronts_identical(&traced.outcome, &untraced.outcome);
+    assert!(
+        snap.coverage() >= MIN_COVERAGE,
+        "span tree accounts for {:.1}% of wall-clock, floor is {:.0}%",
+        snap.coverage() * 100.0,
+        MIN_COVERAGE * 100.0
+    );
+    // the sweep's own taxonomy shows up in the tree
+    for name in ["dse.sweep", "dse.eval"] {
+        assert!(
+            snap.spans.iter().any(|s| s.name == name),
+            "span {name:?} missing from trace"
+        );
+    }
+    assert!(snap.counters.get("dse.enumerated") > 0);
+
+    let json = render(&snap);
+    assert!(json.contains(SCHEMA));
+    validate(&json).expect("emitted trace validates against rap/trace/v1");
+}
+
+#[test]
+fn validator_enforces_the_coverage_floor() {
+    // a collector whose root has children but whose spans account for
+    // (essentially) none of the wall-clock must be rejected; the idle
+    // stretch has to clear the absolute slack that exempts near-instant
+    // runs, so sleep well past `COVERAGE_SLACK_NS`
+    let collector = Arc::new(Collector::new());
+    let obs = Obs::collecting(&collector);
+    drop(obs.span("tiny"));
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    let json = render(&collector.snapshot());
+    let err = validate(&json).expect_err("under-covered trace must fail");
+    assert!(err.contains("coverage"), "unexpected error: {err}");
+}
+
+/// The disabled path must be free: running the identical sweep through a
+/// detached [`Obs`] (the no-op recorder) costs the same as not threading
+/// observability at all, within scheduling noise. The per-call cost is
+/// pinned to fractions of a nanosecond by `rap-obs`'s criterion bench;
+/// here we bound the end-to-end effect with a generous multiplier so the
+/// test stays robust on loaded CI machines.
+#[test]
+fn noop_recorder_adds_no_measurable_overhead() {
+    let best = |f: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .min()
+            .expect("three timed runs")
+    };
+    // warm-up run keeps first-touch allocator/page effects out of both arms
+    let _ = run_sweep(true, None);
+    let plain = best(&|| {
+        let _ = run_sweep(true, None);
+    });
+    let detached = best(&|| {
+        let _ = run_sweep_traced(true, None, &Obs::none());
+    });
+    assert!(
+        detached <= plain * 2 + std::time::Duration::from_millis(50),
+        "no-op traced sweep took {detached:?} vs untraced {plain:?}"
+    );
+}

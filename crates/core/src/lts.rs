@@ -67,7 +67,31 @@ impl Lts {
     ///
     /// [`DfsError::StateBudgetExceeded`] when the bound is hit.
     pub fn explore(dfs: &Dfs, max_states: usize) -> Result<Lts, DfsError> {
-        let lts = Self::explore_truncated(dfs, max_states);
+        Self::explore_traced(dfs, max_states, &rap_obs::Obs::none())
+    }
+
+    /// [`Lts::explore`] with a recorder attached: the engine emits its
+    /// per-level spans and counters into `obs` (see
+    /// [`engine::explore_parallel_traced`]). Recording is
+    /// observation-only — the LTS is bit-identical to [`Lts::explore`].
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::StateBudgetExceeded`] when the bound is hit.
+    pub fn explore_traced(
+        dfs: &Dfs,
+        max_states: usize,
+        obs: &rap_obs::Obs,
+    ) -> Result<Lts, DfsError> {
+        let lts = Self::explore_with_traced(
+            dfs,
+            &EngineConfig {
+                max_states,
+                ..EngineConfig::default()
+            },
+            None,
+            obs,
+        );
         if lts.is_truncated() {
             return Err(DfsError::StateBudgetExceeded { budget: max_states });
         }
@@ -92,7 +116,19 @@ impl Lts {
     /// `symmetry` (build one with [`node_rotation_symmetry`]).
     #[must_use]
     pub fn explore_with(dfs: &Dfs, cfg: &EngineConfig, symmetry: Option<&StateSymmetry>) -> Lts {
-        let graph = engine::explore_parallel(|| DfsSystem::new(dfs), cfg, symmetry);
+        Self::explore_with_traced(dfs, cfg, symmetry, &rap_obs::Obs::none())
+    }
+
+    /// [`Lts::explore_with`] with a recorder attached; see
+    /// [`Lts::explore_traced`] for the recording contract.
+    #[must_use]
+    pub fn explore_with_traced(
+        dfs: &Dfs,
+        cfg: &EngineConfig,
+        symmetry: Option<&StateSymmetry>,
+        obs: &rap_obs::Obs,
+    ) -> Lts {
+        let graph = engine::explore_parallel_traced(|| DfsSystem::new(dfs), cfg, symmetry, obs);
         let sys = DfsSystem::new(dfs);
         Self::from_graph(graph, &sys, symmetry.cloned())
     }

@@ -48,11 +48,11 @@ use crate::eval::{evaluate_structural, optimistic_bound, period_lower_bound_unit
 use crate::pareto::{pareto_front_indices, Objectives};
 use crate::space::{Config, DesignSpace, Hardware};
 use dfs_core::Dfs;
+use rap_obs::{CounterSnapshot, Meter, Obs};
 use rap_pool::StealQueues;
 use rap_session::{CompiledModel, Session};
 use rap_silicon::cost::CostModel;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Driver knobs.
@@ -104,6 +104,18 @@ pub struct Evaluation {
 }
 
 /// Sweep counters.
+///
+/// A *view* over the sweep's [`rap-obs`](rap_obs) counters (the
+/// `dse.*` names in the `rap_obs` taxonomy table), materialised once
+/// from a single [`Meter`] snapshot so the fields are mutually
+/// coherent.
+///
+/// **Aliasing note:** [`memo_hits`](SweepStats::memo_hits) counts every
+/// evaluation this sweep did *not* pay for itself — including those the
+/// session served from **disk**, which the store layer counts again as
+/// `store.read.hit` (`StoreStats::disk_hits`) and the session splits
+/// out as `session.*.disk_hit`. These are deliberately
+/// overlapping views of the same events; never sum them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStats {
     /// Configurations enumerated by the space.
@@ -125,6 +137,24 @@ pub struct SweepStats {
     pub check_inconclusive: usize,
     /// Full evaluations whose Petri screen found a violation.
     pub check_violations: usize,
+}
+
+impl SweepStats {
+    /// Materialises the view from one coherent counter snapshot.
+    #[must_use]
+    pub fn from_counters(c: &CounterSnapshot) -> SweepStats {
+        let n = |name| c.get(name) as usize;
+        SweepStats {
+            enumerated: n("dse.enumerated"),
+            full_evaluations: n("dse.eval.full"),
+            memo_hits: n("dse.eval.memo"),
+            pruned: n("dse.eval.pruned"),
+            errors: n("dse.eval.error"),
+            panics: n("dse.eval.panic"),
+            check_inconclusive: n("dse.check.inconclusive"),
+            check_violations: n("dse.check.violation"),
+        }
+    }
 }
 
 /// The sweep result.
@@ -163,13 +193,13 @@ struct Shared<'a> {
     siblings: Mutex<HashMap<SiblingKey, Vec<(usize, f64)>>>,
     /// Exact, violation-free objective vectors per workload class.
     dominators: Mutex<HashMap<usize, Vec<Objectives>>>,
-    full_evaluations: AtomicUsize,
-    memo_hits: AtomicUsize,
-    pruned: AtomicUsize,
-    errors: AtomicUsize,
-    panics: AtomicUsize,
-    check_inconclusive: AtomicUsize,
-    check_violations: AtomicUsize,
+    /// Sweep counters, mirrored into the attached recorder (if any).
+    /// Observation-only: never consulted by pruning or memoization, so a
+    /// live recorder cannot perturb the fronts.
+    meter: Meter,
+    /// Recorder handle parented under the `dse.sweep` span; per-candidate
+    /// `dse.eval` spans and provenance events hang off it.
+    obs: Obs,
 }
 
 impl Shared<'_> {
@@ -241,18 +271,20 @@ impl Shared<'_> {
                 Ok(Some(eval)) => out.push(eval),
                 Ok(None) => {}
                 Err(_) => {
-                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    self.meter.add("dse.eval.panic", 1);
                 }
             }
         }
     }
 
     fn eval_task(&self, config: Config) -> Option<Evaluation> {
+        let _eval_span = self.obs.span("dse.eval");
         {
             let dfs = match config.build() {
                 Ok(dfs) => dfs,
                 Err(_) => {
-                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.meter.add("dse.eval.error", 1);
+                    self.obs.note("dse.error", &config.label(), 0);
                     return None;
                 }
             };
@@ -271,7 +303,9 @@ impl Shared<'_> {
                     let lb = self.period_lower_bound(&config, &dfs);
                     let bound = optimistic_bound(&config, &dfs, self.cost, lb);
                     if self.is_dominated(config.workload, &bound) {
-                        self.pruned.fetch_add(1, Ordering::Relaxed);
+                        self.meter.add("dse.eval.pruned", 1);
+                        self.obs
+                            .note("dse.pruned", &config.label(), model.structural_hash());
                         return None;
                     }
                 }
@@ -281,25 +315,33 @@ impl Shared<'_> {
             // exact work accounting even under concurrent twins
             let (detail, ran_here) = model.perf_detail_traced();
             if detail.is_err() {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("dse.eval.error", 1);
+                self.obs
+                    .note("dse.error", &config.label(), model.structural_hash());
                 return None;
             }
             let eval = match evaluate_structural(&model, self.cost, self.cfg.check_budget) {
                 Ok(eval) => eval,
                 Err(_) => {
-                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.meter.add("dse.eval.error", 1);
+                    self.obs
+                        .note("dse.error", &config.label(), model.structural_hash());
                     return None;
                 }
             };
             if ran_here {
-                self.full_evaluations.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("dse.eval.full", 1);
+                self.obs
+                    .note("dse.full", &config.label(), model.structural_hash());
                 if eval.check_violated {
-                    self.check_violations.fetch_add(1, Ordering::Relaxed);
+                    self.meter.add("dse.check.violation", 1);
                 } else if eval.check_truncated {
-                    self.check_inconclusive.fetch_add(1, Ordering::Relaxed);
+                    self.meter.add("dse.check.inconclusive", 1);
                 }
             } else {
-                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("dse.eval.memo", 1);
+                self.obs
+                    .note("dse.memo", &config.label(), model.structural_hash());
             }
             // record the sibling period on cache hits too: against a warm
             // session nothing is freshly analysed, and without this the
@@ -347,11 +389,36 @@ pub fn explore_with_session(
     cfg: &DseConfig,
     session: &Session,
 ) -> DseOutcome {
+    explore_traced(space, cost, cfg, session, &session.recorder().clone())
+}
+
+/// [`explore_with_session`] with an explicit recorder handle: the sweep
+/// opens a `dse.sweep` span under `obs`'s parent (letting callers nest
+/// sweeps under their own pass spans), every candidate gets a `dse.eval`
+/// span plus a provenance event (`dse.full` / `dse.memo` / `dse.pruned` /
+/// `dse.error`, labelled with the configuration and its structural hash),
+/// and the `dse.*` counters of [`SweepStats`] are mirrored live.
+///
+/// Recording is observation-only — it is never consulted by pruning,
+/// memoization or scheduling — so the emitted evaluations and fronts are
+/// bit-identical to an untraced run.
+#[must_use]
+pub fn explore_traced(
+    space: &DesignSpace,
+    cost: &CostModel,
+    cfg: &DseConfig,
+    session: &Session,
+    obs: &Obs,
+) -> DseOutcome {
+    let sweep_span = obs.span("dse.sweep");
+    let sweep_obs = sweep_span.obs();
     let tasks = space.enumerate();
     let enumerated = tasks.len();
     let threads = cfg.threads.max(1).min(tasks.len().max(1));
     let queues = StealQueues::new(threads);
     queues.deal(0..tasks.len());
+    let meter = Meter::with_obs(sweep_obs.clone());
+    meter.add("dse.enumerated", enumerated as u64);
     let shared = Shared {
         space,
         cost,
@@ -361,13 +428,8 @@ pub fn explore_with_session(
         queues,
         siblings: Mutex::new(HashMap::new()),
         dominators: Mutex::new(HashMap::new()),
-        full_evaluations: AtomicUsize::new(0),
-        memo_hits: AtomicUsize::new(0),
-        pruned: AtomicUsize::new(0),
-        errors: AtomicUsize::new(0),
-        panics: AtomicUsize::new(0),
-        check_inconclusive: AtomicUsize::new(0),
-        check_violations: AtomicUsize::new(0),
+        meter,
+        obs: sweep_obs,
     };
 
     let mut evaluations: Vec<Evaluation> = Vec::new();
@@ -382,7 +444,7 @@ pub fn explore_with_session(
             // come from outside an evaluation (e.g. drop glue); its
             // completed results are lost but the sweep still reports
             Err(_) => {
-                shared.panics.fetch_add(1, Ordering::Relaxed);
+                shared.meter.add("dse.eval.panic", 1);
             }
         }
     }
@@ -406,16 +468,7 @@ pub fn explore_with_session(
         );
     }
 
-    let stats = SweepStats {
-        enumerated,
-        full_evaluations: shared.full_evaluations.load(Ordering::Relaxed),
-        memo_hits: shared.memo_hits.load(Ordering::Relaxed),
-        pruned: shared.pruned.load(Ordering::Relaxed),
-        errors: shared.errors.load(Ordering::Relaxed),
-        panics: shared.panics.load(Ordering::Relaxed),
-        check_inconclusive: shared.check_inconclusive.load(Ordering::Relaxed),
-        check_violations: shared.check_violations.load(Ordering::Relaxed),
-    };
+    let stats = SweepStats::from_counters(&shared.meter.snapshot());
     DseOutcome {
         evaluations,
         fronts,

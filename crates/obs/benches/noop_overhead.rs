@@ -1,0 +1,58 @@
+//! Pins the tentpole claim that a detached [`Obs`] handle is free: the
+//! disabled counter/span paths should be within noise of the empty loop,
+//! and orders of magnitude under the enabled paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rap_obs::{Collector, Obs};
+use std::sync::Arc;
+
+const ITERS: u64 = 4096;
+
+fn bench_disabled(c: &mut Criterion) {
+    let off = Obs::none();
+    c.bench_function("obs_baseline_empty_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        })
+    });
+    c.bench_function("obs_disabled_counter_add", |b| {
+        b.iter(|| {
+            for _ in 0..ITERS {
+                off.add("bench.counter", 1);
+            }
+        })
+    });
+    c.bench_function("obs_disabled_span_open_close", |b| {
+        b.iter(|| {
+            for _ in 0..ITERS {
+                let _t = off.span("bench.span");
+            }
+        })
+    });
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let collector = Arc::new(Collector::new());
+    let on = Obs::collecting(&collector);
+    c.bench_function("obs_enabled_counter_add", |b| {
+        b.iter(|| {
+            for _ in 0..ITERS {
+                on.add("bench.counter", 1);
+            }
+        })
+    });
+    c.bench_function("obs_enabled_span_open_close", |b| {
+        b.iter(|| {
+            for _ in 0..ITERS {
+                let _t = on.span("bench.span");
+            }
+        })
+    });
+}
+
+criterion_group!(noop_overhead, bench_disabled, bench_enabled);
+criterion_main!(noop_overhead);

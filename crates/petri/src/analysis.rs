@@ -186,14 +186,26 @@ impl QuickCheck {
 /// [`QuickVerdict::Inconclusive`] instead of over-claiming.
 #[must_use]
 pub fn quick_check(net: &PetriNet, pairs: &[(PlaceId, PlaceId)], max_states: usize) -> QuickCheck {
-    quick_check_with(
-        net,
-        pairs,
-        &ExploreConfig {
-            max_states,
-            ..ExploreConfig::default()
-        },
-    )
+    quick_check_traced(net, pairs, max_states, &rap_obs::Obs::none())
+}
+
+/// [`quick_check`] with a recorder attached: the underlying exploration
+/// emits its per-level spans and engine counters into `obs` (see
+/// [`crate::reachability::explore_truncated_traced`]). Recording is
+/// observation-only — the verdicts are identical to [`quick_check`].
+#[must_use]
+pub fn quick_check_traced(
+    net: &PetriNet,
+    pairs: &[(PlaceId, PlaceId)],
+    max_states: usize,
+    obs: &rap_obs::Obs,
+) -> QuickCheck {
+    let cfg = ExploreConfig {
+        max_states,
+        ..ExploreConfig::default()
+    };
+    let space = crate::reachability::explore_truncated_traced(net, cfg, obs);
+    verdicts_over(net, &space, pairs, max_states)
 }
 
 /// [`quick_check`] under an explicit [`ExploreConfig`] — the variant that

@@ -64,6 +64,7 @@
 //! ([`StateSymmetry::unrotate_action`]).
 
 use crate::{PetriNet, TransitionId};
+use rap_obs::Obs;
 
 pub mod shard;
 
@@ -209,6 +210,49 @@ impl EngineConfig {
             0 if stride <= 2 => 1,
             0 => 8,
             n => n,
+        }
+    }
+}
+
+/// View over the engine's `rap-obs` counters after a traced exploration
+/// ([`explore_parallel_traced`] with a live collector) — the engine-side
+/// member of the workspace's unified stats family (`SessionStats`,
+/// `StoreStats`, `SweepStats` are views the same way).
+///
+/// Recording is observation-only: a traced run produces a bit-identical
+/// graph to an untraced one; these counters merely describe it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// BFS levels processed (`engine.levels`).
+    pub levels: u64,
+    /// Distinct states committed (`engine.states`).
+    pub states: u64,
+    /// Edges committed (`engine.edges`).
+    pub edges: u64,
+    /// Edges whose target was already committed in an earlier level
+    /// (`engine.dedup.known`).
+    pub dedup_known: u64,
+    /// Edges deduplicated against a same-level pending entry
+    /// (`engine.dedup.pending`).
+    pub dedup_pending: u64,
+    /// Dedup probes that found their shard lock held by another worker
+    /// (`engine.shard.contended`).
+    pub shard_contended: u64,
+}
+
+impl EngineStats {
+    /// Builds the view from a coherent counter snapshot (taxonomy names in
+    /// the field docs above). Counters accumulate across explorations
+    /// recorded into the same collector.
+    #[must_use]
+    pub fn from_counters(c: &rap_obs::CounterSnapshot) -> EngineStats {
+        EngineStats {
+            levels: c.get("engine.levels"),
+            states: c.get("engine.states"),
+            edges: c.get("engine.edges"),
+            dedup_known: c.get("engine.dedup.known"),
+            dedup_pending: c.get("engine.dedup.pending"),
+            shard_contended: c.get("engine.shard.contended"),
         }
     }
 }
@@ -807,6 +851,35 @@ where
     S: TransitionSystem + Send,
     F: Fn() -> S + Sync,
 {
+    explore_parallel_traced(factory, cfg, symmetry, &Obs::none())
+}
+
+/// [`explore_parallel`] with a recorder attached.
+///
+/// Per BFS level the engine opens `engine.level.expand` (worker expansion,
+/// including concurrent dedup probes), `engine.level.dedup` (barrier-side
+/// chunk ordering and pending-slot reset) and `engine.level.commit`
+/// (canonical-order commit) spans; at the end it records the
+/// [`EngineStats`] counters and the `engine.frontier.peak` gauge. All
+/// recording happens at level barriers or after the run — the per-state
+/// hot path never touches the recorder — and recording is observation-only:
+/// the returned graph is bit-identical to an untraced run at every thread
+/// count (pinned by the parallel≡serial proptests running with a live
+/// collector).
+///
+/// # Panics
+///
+/// Panics when `symmetry` does not cover the system's state/action bits.
+pub fn explore_parallel_traced<S, F>(
+    factory: F,
+    cfg: &EngineConfig,
+    symmetry: Option<&StateSymmetry>,
+    obs: &Obs,
+) -> ExploredGraph
+where
+    S: TransitionSystem + Send,
+    F: Fn() -> S + Sync,
+{
     let started = std::time::Instant::now();
     let threads = cfg.resolved_threads().max(1);
     // one system per worker for the whole run (`factory` can be expensive);
@@ -874,12 +947,20 @@ where
     let mut frontier_en = en0;
     let mut level_start = 0usize;
     let mut level_num = 0usize;
+    // observability tallies — plain locals, flushed to the recorder once
+    // after the run so the level loop never locks the collector for them
+    let mut levels_done = 0u64;
+    let mut peak_frontier = 0usize;
+    let mut dedup_known = 0u64;
+    let mut dedup_pending = 0u64;
 
     loop {
         let level_len = g.len() - level_start;
         if level_len == 0 {
             break;
         }
+        levels_done += 1;
+        peak_frontier = peak_frontier.max(level_len);
 
         // expansion: workers propose edges for chunks of the frontier
         let t_level = if level_len < 512 { 1 } else { threads };
@@ -894,6 +975,7 @@ where
         let fe: &[u64] = &frontier_en;
         let g_ref = &g;
         let index_ref = &index;
+        let expand_span = obs.span("engine.level.expand");
         let mut chunk_outs: Vec<ChunkOut> = rap_pool::run_workers(t_level, |me| {
             let mut sys = systems[me].lock().expect("engine worker system");
             let mut raw = vec![0u64; stride];
@@ -973,9 +1055,15 @@ where
         })
         .collect();
 
+        drop(expand_span);
+
         // commit: one pass in canonical (parent id, action) order assigns
         // dense ids exactly as the serial engine would
-        chunk_outs.sort_by_key(|c| c.start);
+        {
+            let _dedup = obs.span("engine.level.dedup");
+            chunk_outs.sort_by_key(|c| c.start);
+        }
+        let commit_span = obs.span("engine.level.commit");
         let anchor_next = anchor_every == 1 || (level_num + 1).is_multiple_of(anchor_every);
         let mut next_words: Vec<u64> = Vec::new();
         let mut next_en: Vec<u64> = Vec::new();
@@ -986,9 +1074,15 @@ where
                 let parent_id = (level_start + parent_local) as u32;
                 for e in &co.edges[e0..e1 as usize] {
                     let id = match e.target {
-                        Target::Known(id) => id,
+                        Target::Known(id) => {
+                            dedup_known += 1;
+                            id
+                        }
                         Target::Pending(h) => match index.assigned(h) {
-                            Some(id) => id,
+                            Some(id) => {
+                                dedup_pending += 1;
+                                id
+                            }
                             None => {
                                 if g.len() >= cfg.max_states {
                                     g.outcome = ExploreOutcome::Truncated {
@@ -1015,6 +1109,8 @@ where
             }
         }
 
+        drop(commit_span);
+
         if g.is_truncated() {
             break;
         }
@@ -1025,7 +1121,10 @@ where
             g.outcome = ExploreOutcome::Truncated { limit: g.len() };
             break;
         }
-        index.clear_pending();
+        {
+            let _dedup = obs.span("engine.level.dedup");
+            index.clear_pending();
+        }
         level_start = g.len() - next_words.len() / stride;
         frontier_words = next_words;
         frontier_en = next_en;
@@ -1035,6 +1134,17 @@ where
     // close offsets of states that were never (or only partially) expanded
     while g.succ_off.len() < g.len() + 1 {
         g.succ_off.push(g.succ.len() as u32);
+    }
+
+    if obs.is_enabled() {
+        obs.add("engine.levels", levels_done);
+        obs.add("engine.states", g.len() as u64);
+        obs.add("engine.edges", g.succ.len() as u64);
+        obs.add("engine.dedup.known", dedup_known);
+        obs.add("engine.dedup.pending", dedup_pending);
+        obs.add("engine.shard.contended", index.contention());
+        #[allow(clippy::cast_precision_loss)]
+        obs.gauge("engine.frontier.peak", peak_frontier as f64);
     }
     g
 }

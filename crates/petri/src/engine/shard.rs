@@ -28,7 +28,8 @@
 //! distinct state is inserted exactly once and every duplicate resolves to
 //! that one entry.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, TryLockError};
 
 /// `tag` value of a free slot.
 const EMPTY: u32 = u32::MAX;
@@ -133,6 +134,9 @@ pub struct ShardIndex {
     shards: Vec<Mutex<Shard>>,
     stride: usize,
     astride: usize,
+    /// Probe calls that found their shard lock held by another worker
+    /// (observability only — never consulted by any dedup decision).
+    contended: AtomicU64,
 }
 
 impl ShardIndex {
@@ -145,7 +149,16 @@ impl ShardIndex {
             shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
             stride,
             astride,
+            contended: AtomicU64::new(0),
         }
+    }
+
+    /// Number of [`probe_or_insert`](ShardIndex::probe_or_insert) calls so
+    /// far that found their shard lock held by another worker — the
+    /// engine's shard-contention counter (`engine.shard.contended`).
+    #[must_use]
+    pub fn contention(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
     }
 
     /// The shard routing: a multiply-shift range partition of the hash, i.e.
@@ -171,7 +184,16 @@ impl ShardIndex {
     ) -> Probe {
         debug_assert_eq!(cand.len(), self.stride);
         let si = self.shard_of(hash);
-        let mut sh = self.shards[si].lock().expect("shard index");
+        // try_lock first purely to *count* contention; the fallback blocks
+        // exactly like a plain lock, so behaviour is unchanged
+        let mut sh = match self.shards[si].try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.shards[si].lock().expect("shard index")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("shard index poisoned"),
+        };
         let mut i = (hash as usize) & sh.mask;
         loop {
             let slot = sh.slots[i];

@@ -337,7 +337,22 @@ pub fn explore(net: &PetriNet, config: ExploreConfig) -> Result<StateSpace, Petr
 /// exceeded.
 #[must_use]
 pub fn explore_truncated(net: &PetriNet, config: ExploreConfig) -> StateSpace {
-    let graph = engine::explore_parallel(|| NetSystem::new(net), &config.engine(), None);
+    explore_truncated_traced(net, config, &rap_obs::Obs::none())
+}
+
+/// [`explore_truncated`] with a recorder attached: the engine emits
+/// per-level `engine.level.expand` / `engine.level.dedup` /
+/// `engine.level.commit` spans and the [`engine::EngineStats`] counters
+/// into `obs`. Recording is observation-only — the returned space is
+/// bit-identical to [`explore_truncated`] at every thread count.
+#[must_use]
+pub fn explore_truncated_traced(
+    net: &PetriNet,
+    config: ExploreConfig,
+    obs: &rap_obs::Obs,
+) -> StateSpace {
+    let graph =
+        engine::explore_parallel_traced(|| NetSystem::new(net), &config.engine(), None, obs);
     StateSpace::from_graph(graph, net.place_count(), None)
 }
 
@@ -354,7 +369,20 @@ pub fn explore_quotient_truncated(
     config: ExploreConfig,
     sym: &StateSymmetry,
 ) -> StateSpace {
-    let graph = engine::explore_parallel(|| NetSystem::new(net), &config.engine(), Some(sym));
+    explore_quotient_truncated_traced(net, config, sym, &rap_obs::Obs::none())
+}
+
+/// [`explore_quotient_truncated`] with a recorder attached; see
+/// [`explore_truncated_traced`] for the recording contract.
+#[must_use]
+pub fn explore_quotient_truncated_traced(
+    net: &PetriNet,
+    config: ExploreConfig,
+    sym: &StateSymmetry,
+    obs: &rap_obs::Obs,
+) -> StateSpace {
+    let graph =
+        engine::explore_parallel_traced(|| NetSystem::new(net), &config.engine(), Some(sym), obs);
     StateSpace::from_graph(graph, net.place_count(), Some(sym.clone()))
 }
 

@@ -1,0 +1,169 @@
+//! Differential suite: the parallel engine is observationally identical to
+//! the serial reference at every thread count — **including when a live
+//! collector is attached**. Recording is observation-only by contract
+//! ([`rap_petri::engine::explore_parallel_traced`]): span timings and
+//! counters must never leak into state numbering, parent attribution, edge
+//! order or truncation. These tests pin that contract by comparing
+//! serial, untraced-parallel and traced-parallel runs state-for-state at
+//! threads ∈ {1, 2, 8}.
+
+use proptest::prelude::*;
+use rap_obs::{Collector, Obs};
+use rap_petri::engine::{
+    explore, explore_parallel, explore_parallel_traced, EngineConfig, EngineStats, ExploredGraph,
+    NetSystem,
+};
+use rap_petri::{PetriNet, PlaceId};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn cfg(max_states: usize, threads: usize) -> EngineConfig {
+    EngineConfig {
+        max_states,
+        threads,
+        anchor_interval: 0,
+        deadline: None,
+    }
+}
+
+/// Full observational equality: counts, outcome, parent links, CSR edges
+/// and every reconstructed state vector.
+fn assert_identical(a: &ExploredGraph, b: &ExploredGraph, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: state count");
+    assert_eq!(a.outcome(), b.outcome(), "{ctx}: outcome");
+    assert_eq!(a.parents, b.parents, "{ctx}: parent attribution");
+    assert_eq!(a.succ_off, b.succ_off, "{ctx}: CSR offsets");
+    assert_eq!(a.succ, b.succ, "{ctx}: edge order");
+    for i in 0..a.len() {
+        assert_eq!(a.state_vec(i), b.state_vec(i), "{ctx}: state {i}");
+    }
+}
+
+fn ring(n: usize) -> PetriNet {
+    let mut net = PetriNet::new();
+    let places: Vec<_> = (0..n)
+        .map(|i| net.add_place(format!("p{i}"), i == 0))
+        .collect();
+    for i in 0..n {
+        let t = net.add_transition(format!("t{i}"));
+        net.consume(t, places[i]);
+        net.produce(t, places[(i + 1) % n]);
+    }
+    net
+}
+
+/// Random net generator shared with `tests/properties.rs`.
+fn arb_net(np: usize, nt: usize) -> impl Strategy<Value = PetriNet> {
+    let place_marks = proptest::collection::vec(any::<bool>(), np);
+    let arcs = proptest::collection::vec(
+        (
+            proptest::collection::vec(0..np, 0..3), // consumes
+            proptest::collection::vec(0..np, 0..3), // produces
+            proptest::collection::vec(0..np, 0..2), // reads
+        ),
+        nt,
+    );
+    (place_marks, arcs).prop_map(move |(marks, arcs)| {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = marks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| net.add_place(format!("p{i}"), m))
+            .collect();
+        for (i, (cons, prod, reads)) in arcs.into_iter().enumerate() {
+            let t = net.add_transition(format!("t{i}"));
+            for c in cons {
+                net.consume(t, places[c]);
+            }
+            for p in prod {
+                net.produce(t, places[p]);
+            }
+            for r in reads {
+                net.read(t, places[r]);
+            }
+        }
+        net
+    })
+}
+
+/// A live collector never perturbs the result: traced parallel ≡ serial on
+/// a ring, across thread counts and budgets, and the collector actually
+/// observed the run (per-level spans plus the end-of-run counter flush).
+#[test]
+fn traced_parallel_matches_serial_at_every_thread_count() {
+    let net = ring(64);
+    let mut sys = NetSystem::new(&net);
+    for budget in [usize::MAX, 64, 17, 3, 1] {
+        let serial = explore(&mut sys, budget);
+        for threads in THREAD_COUNTS {
+            let collector = Arc::new(Collector::new());
+            let traced = explore_parallel_traced(
+                || NetSystem::new(&net),
+                &cfg(budget, threads),
+                None,
+                &Obs::collecting(&collector),
+            );
+            assert_identical(&serial, &traced, &format!("t={threads} budget={budget}"));
+
+            let snap = collector.snapshot();
+            let stats = EngineStats::from_counters(&snap.counters);
+            assert_eq!(stats.states, traced.len() as u64, "t={threads}");
+            assert!(stats.levels > 0, "t={threads}: no levels recorded");
+            assert!(
+                snap.spans.iter().any(|s| s.name == "engine.level.expand"),
+                "t={threads}: expand spans missing"
+            );
+            assert!(
+                snap.spans.iter().any(|s| s.name == "engine.level.commit"),
+                "t={threads}: commit spans missing"
+            );
+        }
+    }
+}
+
+/// Tracing is invisible to the output: traced and untraced parallel runs
+/// are bit-identical at every thread count.
+#[test]
+fn tracing_is_observation_only() {
+    let net = ring(150); // 3 words per state: exercises the delta path too
+    for threads in THREAD_COUNTS {
+        let untraced = explore_parallel(|| NetSystem::new(&net), &cfg(1_000, threads), None);
+        let collector = Arc::new(Collector::new());
+        let traced = explore_parallel_traced(
+            || NetSystem::new(&net),
+            &cfg(1_000, threads),
+            None,
+            &Obs::collecting(&collector),
+        );
+        assert_identical(&untraced, &traced, &format!("t={threads}"));
+        assert!(collector.snapshot().wall_ns > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The property-level version: on random nets, serial, untraced
+    /// parallel and traced parallel (live collector) agree exactly at
+    /// threads ∈ {1, 2, 8}.
+    #[test]
+    fn parallel_equivalence_holds_under_tracing(net in arb_net(10, 8)) {
+        let mut sys = NetSystem::new(&net);
+        let serial = explore(&mut sys, 2_000);
+        for threads in THREAD_COUNTS {
+            let plain = explore_parallel(|| NetSystem::new(&net), &cfg(2_000, threads), None);
+            let collector = Arc::new(Collector::new());
+            let traced = explore_parallel_traced(
+                || NetSystem::new(&net),
+                &cfg(2_000, threads),
+                None,
+                &Obs::collecting(&collector),
+            );
+            assert_identical(&serial, &plain, &format!("plain t={threads}"));
+            assert_identical(&serial, &traced, &format!("traced t={threads}"));
+            let stats = EngineStats::from_counters(&collector.snapshot().counters);
+            prop_assert_eq!(stats.states, traced.len() as u64);
+        }
+    }
+}

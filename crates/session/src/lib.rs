@@ -105,13 +105,19 @@ pub use rap_store as store;
 pub use rap_store::{Store, StoreError, StoreStats};
 
 use dfs_core::Dfs;
+use rap_obs::{CounterSnapshot, Meter, Obs};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Session-wide counters: compiles and the aggregated per-model query
 /// statistics ([`Session::stats`]).
+///
+/// The snapshot is *coherent*: the compile counters are written and read
+/// under the session's intern lock, and each model's query counters are
+/// copied under a single per-model lock — a query/computation pair (or a
+/// compile/compile-hit pair) can never tear apart, even while other
+/// threads are mid-query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Calls to [`Session::compile`].
@@ -180,8 +186,15 @@ type InternTable = HashMap<(u64, u64), Vec<Arc<CompiledModel>>>;
 #[derive(Default)]
 pub struct Session {
     models: Mutex<InternTable>,
-    compiles: AtomicU64,
-    compile_hits: AtomicU64,
+    /// Compile/intern counters. Only written while the intern lock is
+    /// held, and read under it too ([`Session::stats`]), so the
+    /// compiles/hits/models triple is always mutually consistent.
+    meter: Meter,
+    /// The recorder handle every compiled model (and the store, when the
+    /// session is built via [`Session::open_traced`] /
+    /// [`Session::with_store_and_recorder`]) records into. Detached by
+    /// default; recording is observation-only and never changes a result.
+    obs: Obs,
     /// Persistent artifact store; `None` = memory-only session.
     store: Option<Arc<Store>>,
 }
@@ -234,6 +247,52 @@ impl Session {
         }
     }
 
+    /// A memory-only session recording into `obs`: every query of every
+    /// compiled model wraps itself in `session.query.<kind>` spans and
+    /// mirrors its counters into the recorder (see the `rap-obs` crate
+    /// docs for the taxonomy). Recording is observation-only — results,
+    /// caching and scheduling are bit-identical to an untraced session.
+    #[must_use]
+    pub fn with_recorder(obs: Obs) -> Self {
+        Session {
+            meter: Meter::with_obs(obs.clone()),
+            obs,
+            ..Session::default()
+        }
+    }
+
+    /// [`Session::with_store`] + [`Session::with_recorder`]: a persistent
+    /// session whose store also records read/write latency histograms and
+    /// quarantine events into the same recorder.
+    #[must_use]
+    pub fn with_store_and_recorder(mut store: Store, obs: Obs) -> Self {
+        store.set_recorder(obs.clone());
+        Session {
+            meter: Meter::with_obs(obs.clone()),
+            obs,
+            store: Some(Arc::new(store)),
+            ..Session::default()
+        }
+    }
+
+    /// [`Session::open`] with a recorder attached to both the session and
+    /// its store — shorthand for [`Store::open`] +
+    /// [`Session::with_store_and_recorder`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::open`].
+    pub fn open_traced(dir: impl AsRef<Path>, obs: Obs) -> Result<Self, StoreError> {
+        Ok(Session::with_store_and_recorder(Store::open(dir)?, obs))
+    }
+
+    /// The recorder handle this session records into (detached unless the
+    /// session was built with one of the `*_recorder` constructors).
+    #[must_use]
+    pub fn recorder(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Opens (creating if necessary) the artifact store at `dir` and
     /// builds a persistent session over it — shorthand for
     /// [`Store::open`] + [`Session::with_store`].
@@ -271,41 +330,59 @@ impl Session {
     /// valid after the session is dropped (caches and all).
     #[must_use]
     pub fn compile(&self, dfs: &Dfs) -> Arc<CompiledModel> {
-        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let _span = self.obs.span("session.compile");
         let structural = dfs.structural_hash();
         let key = (structural, exact_digest(dfs));
         let mut models = self.models.lock().expect("session intern table");
-        let bucket = models.entry(key).or_default();
-        if let Some(model) = bucket.iter().find(|m| same_model(m.dfs(), dfs)) {
-            self.compile_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(model);
+        if let Some(model) = models
+            .entry(key)
+            .or_default()
+            .iter()
+            .find(|m| same_model(m.dfs(), dfs))
+        {
+            let model = Arc::clone(model);
+            self.meter
+                .bump2("session.compile", "session.compile.hit", true);
+            return model;
         }
         let persist = self.store.as_ref().map(|s| persist::Persist {
             store: Arc::clone(s),
             structural,
             identity: key.1,
         });
-        let model = Arc::new(CompiledModel::new(dfs.clone(), structural, key.1, persist));
-        bucket.push(Arc::clone(&model));
+        let model = Arc::new(CompiledModel::new(
+            dfs.clone(),
+            structural,
+            key.1,
+            persist,
+            self.obs.clone(),
+        ));
+        models.entry(key).or_default().push(Arc::clone(&model));
+        self.meter
+            .bump2("session.compile", "session.compile.hit", false);
         model
     }
 
     /// Session-wide statistics: compile/intern counters plus the
-    /// per-model query counters summed over every compiled model.
+    /// per-model query counters summed over every compiled model — one
+    /// coherent snapshot (the compile counters and model count are read
+    /// under the intern lock they are written under, and each model's
+    /// counters are copied under a single lock).
     #[must_use]
     pub fn stats(&self) -> SessionStats {
         let models = self.models.lock().expect("session intern table");
-        let mut queries = ModelStats::default();
+        let mut agg = CounterSnapshot::default();
         let mut count = 0u64;
         for m in models.values().flatten() {
-            queries.add(&m.stats());
+            agg.merge(&m.counter_snapshot());
             count += 1;
         }
+        let compile = self.meter.snapshot();
         SessionStats {
-            compiles: self.compiles.load(Ordering::Relaxed),
-            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            compiles: compile.get("session.compile"),
+            compile_hits: compile.get("session.compile.hit"),
             models: count,
-            queries,
+            queries: ModelStats::from_counters(&agg),
             store: self.store.as_ref().map(|s| s.stats()).unwrap_or_default(),
         }
     }

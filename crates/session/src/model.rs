@@ -6,10 +6,10 @@ use crate::Error;
 use dfs_core::perf::{analyse_with_activity, PerfDetail, PerfReport};
 use dfs_core::timed::{measure_steady_period, ChoicePolicy, SteadyStatePeriod};
 use dfs_core::{to_petri, Dfs, Lts, NodeId, PetriImage};
-use rap_petri::analysis::{quick_check, QuickCheck};
+use rap_obs::{CounterSnapshot, Meter, Obs};
+use rap_petri::analysis::QuickCheck;
 use rap_silicon::cost::CostModel;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A keyed cache slot. The `Arc` lets a query hold the slot outside the
@@ -47,6 +47,14 @@ fn traced_once<T>(slot: &OnceLock<T>, f: impl FnOnce() -> T) -> (&T, bool) {
 /// reservation, each computation counter is bounded by the number of
 /// distinct cache keys of its query — `petri_translations` and
 /// `perf_analyses` can never exceed 1 per model.
+///
+/// `ModelStats` is a *view* over the model's `rap-obs` counter set (see
+/// [`ModelStats::from_counters`]); each model's counters are copied under
+/// a single lock, so a query/computation pair can never tear apart. Note
+/// the aliasing: a query served by a verified on-disk frame counts as a
+/// cache hit here (it did not compute) *and* as a `store.read.hit` in
+/// [`rap_store::StoreStats`] — the session-level and store-level views
+/// deliberately overlap, so never sum them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)] // field names are the documentation (pattern above)
 pub struct ModelStats {
@@ -94,61 +102,24 @@ impl ModelStats {
         self.queries() - self.computations()
     }
 
-    pub(crate) fn add(&mut self, o: &ModelStats) {
-        self.petri_queries += o.petri_queries;
-        self.petri_translations += o.petri_translations;
-        self.perf_queries += o.perf_queries;
-        self.perf_analyses += o.perf_analyses;
-        self.lts_queries += o.lts_queries;
-        self.lts_explorations += o.lts_explorations;
-        self.check_queries += o.check_queries;
-        self.check_runs += o.check_runs;
-        self.cost_queries += o.cost_queries;
-        self.cost_evaluations += o.cost_evaluations;
-        self.steady_queries += o.steady_queries;
-        self.steady_measurements += o.steady_measurements;
-    }
-}
-
-#[derive(Default)]
-struct Counters {
-    petri_queries: AtomicU64,
-    petri_translations: AtomicU64,
-    perf_queries: AtomicU64,
-    perf_analyses: AtomicU64,
-    lts_queries: AtomicU64,
-    lts_explorations: AtomicU64,
-    check_queries: AtomicU64,
-    check_runs: AtomicU64,
-    cost_queries: AtomicU64,
-    cost_evaluations: AtomicU64,
-    steady_queries: AtomicU64,
-    steady_measurements: AtomicU64,
-}
-
-impl Counters {
-    fn bump(query: &AtomicU64, compute: &AtomicU64, ran: bool) {
-        query.fetch_add(1, Ordering::Relaxed);
-        if ran {
-            compute.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn snapshot(&self) -> ModelStats {
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    /// Builds the view from a coherent counter snapshot, using the
+    /// `session.<kind>.query` / `session.<kind>.compute` taxonomy names
+    /// (see the `rap-obs` crate docs).
+    #[must_use]
+    pub fn from_counters(c: &CounterSnapshot) -> ModelStats {
         ModelStats {
-            petri_queries: g(&self.petri_queries),
-            petri_translations: g(&self.petri_translations),
-            perf_queries: g(&self.perf_queries),
-            perf_analyses: g(&self.perf_analyses),
-            lts_queries: g(&self.lts_queries),
-            lts_explorations: g(&self.lts_explorations),
-            check_queries: g(&self.check_queries),
-            check_runs: g(&self.check_runs),
-            cost_queries: g(&self.cost_queries),
-            cost_evaluations: g(&self.cost_evaluations),
-            steady_queries: g(&self.steady_queries),
-            steady_measurements: g(&self.steady_measurements),
+            petri_queries: c.get("session.petri.query"),
+            petri_translations: c.get("session.petri.compute"),
+            perf_queries: c.get("session.perf.query"),
+            perf_analyses: c.get("session.perf.compute"),
+            lts_queries: c.get("session.lts.query"),
+            lts_explorations: c.get("session.lts.compute"),
+            check_queries: c.get("session.check.query"),
+            check_runs: c.get("session.check.compute"),
+            cost_queries: c.get("session.cost.query"),
+            cost_evaluations: c.get("session.cost.compute"),
+            steady_queries: c.get("session.steady.query"),
+            steady_measurements: c.get("session.steady.compute"),
         }
     }
 }
@@ -207,7 +178,14 @@ pub struct CompiledModel {
     checks: SlotMap<usize, Arc<QuickCheck>>,
     costs: SlotMap<u64, Result<CostSummary, Error>>,
     steady: SlotMap<(NodeId, u64), Result<SteadyStatePeriod, Error>>,
-    counters: Counters,
+    /// Query/computation counters, mirrored into the session's recorder
+    /// (if any) under the `session.*` taxonomy names.
+    meter: Meter,
+    /// The session's recorder handle; every query wraps itself in a
+    /// `session.query.<kind>` span with `session.load` / `session.compute`
+    /// / `session.commit` children. Recording is observation-only — it
+    /// never changes what is computed or cached.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for CompiledModel {
@@ -230,6 +208,7 @@ impl CompiledModel {
         structural_hash: u64,
         identity_digest: u64,
         persist: Option<Persist>,
+        obs: Obs,
     ) -> Self {
         CompiledModel {
             dfs,
@@ -242,7 +221,8 @@ impl CompiledModel {
             checks: Mutex::new(HashMap::new()),
             costs: Mutex::new(HashMap::new()),
             steady: Mutex::new(HashMap::new()),
-            counters: Counters::default(),
+            meter: Meter::with_obs(obs.clone()),
+            obs,
         }
     }
 
@@ -267,21 +247,39 @@ impl CompiledModel {
         self.identity_digest
     }
 
-    /// Per-model query/computation counters.
+    /// Per-model query/computation counters — one coherent snapshot (a
+    /// single lock acquisition; the query/compute pair of a kind can never
+    /// tear apart).
     #[must_use]
     pub fn stats(&self) -> ModelStats {
-        self.counters.snapshot()
+        ModelStats::from_counters(&self.counter_snapshot())
+    }
+
+    /// The raw coherent counter snapshot [`stats`](Self::stats) is a view
+    /// over (taxonomy-named; includes the `session.<kind>.disk_hit`
+    /// counters the legacy struct does not surface).
+    #[must_use]
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// The recorder handle this model records into (detached unless the
+    /// owning session was built with `Session::with_recorder`).
+    #[must_use]
+    pub fn recorder(&self) -> &Obs {
+        &self.obs
     }
 
     /// The Petri-net image (Fig. 3 translation) — computed once, equal to
     /// [`to_petri()`]`(self.dfs())`.
     pub fn petri(&self) -> &PetriImage {
-        let (img, ran) = traced_once(&self.petri, || to_petri(&self.dfs));
-        Counters::bump(
-            &self.counters.petri_queries,
-            &self.counters.petri_translations,
-            ran,
-        );
+        let span = self.obs.span("session.query.petri");
+        let qobs = span.obs();
+        let (img, ran) = traced_once(&self.petri, || {
+            qobs.time("session.compute", |_| to_petri(&self.dfs))
+        });
+        self.meter
+            .bump2("session.petri.query", "session.petri.compute", ran);
         img
     }
 
@@ -306,25 +304,31 @@ impl CompiledModel {
     /// Sweep drivers use this for exact work accounting; a restart-warm
     /// sweep over an intact store reports `false` throughout.
     pub fn perf_detail_traced(&self) -> (Result<&PerfDetail, Error>, bool) {
+        let span = self.obs.span("session.query.perf");
+        let qobs = span.obs();
         let mut analysed = false;
+        let mut disk_hit = false;
         let (res, _filled) = traced_once(&self.perf, || {
             if let Some(p) = &self.persist {
-                if let Some(detail) = p.load_perf() {
+                if let Some(detail) = qobs.time("session.load", |_| p.load_perf()) {
+                    disk_hit = true;
                     return Ok(detail);
                 }
             }
             analysed = true;
-            let r = analyse_with_activity(&self.dfs).map_err(Error::from);
+            let r = qobs.time("session.compute", |_| {
+                analyse_with_activity(&self.dfs).map_err(Error::from)
+            });
             if let (Some(p), Ok(detail)) = (&self.persist, &r) {
-                p.save_perf(detail);
+                qobs.time("session.commit", |_| p.save_perf(detail));
             }
             r
         });
-        Counters::bump(
-            &self.counters.perf_queries,
-            &self.counters.perf_analyses,
-            analysed,
-        );
+        self.meter
+            .bump2("session.perf.query", "session.perf.compute", analysed);
+        if disk_hit {
+            self.meter.add("session.perf.disk_hit", 1);
+        }
         (res.as_ref().map_err(Clone::clone), analysed)
     }
 
@@ -355,46 +359,63 @@ impl CompiledModel {
     /// The cached [`DfsError::StateBudgetExceeded`](dfs_core::DfsError)
     /// when the state space exceeds `budget`.
     pub fn lts(&self, budget: usize) -> Result<Arc<Lts>, Error> {
+        let span = self.obs.span("session.query.lts");
+        let qobs = span.obs();
         let slot = keyed_slot(&self.lts, budget);
         let (res, ran) = traced_once(&slot, || {
-            Lts::explore(&self.dfs, budget)
-                .map(Arc::new)
-                .map_err(Error::from)
+            qobs.time("session.compute", |o| {
+                Lts::explore_traced(&self.dfs, budget, o)
+                    .map(Arc::new)
+                    .map_err(Error::from)
+            })
         });
-        Counters::bump(
-            &self.counters.lts_queries,
-            &self.counters.lts_explorations,
-            ran,
-        );
+        self.meter
+            .bump2("session.lts.query", "session.lts.compute", ran);
         res.clone()
     }
 
     /// The budgeted deadlock/1-safety screen over the Petri image —
     /// computed once per distinct budget, equal to
-    /// [`quick_check`]`(&img.net, &img.complementary_pairs(), budget)`.
+    /// [`quick_check`](rap_petri::analysis::quick_check)`(&img.net,
+    /// &img.complementary_pairs(), budget)`.
     /// Demands [`petri`](Self::petri), so the translation is still
     /// performed at most once per model.
     #[must_use]
     pub fn quick_check(&self, budget: usize) -> Arc<QuickCheck> {
+        let span = self.obs.span("session.query.check");
+        let qobs = span.obs();
         let slot = keyed_slot(&self.checks, budget);
         let mut ran = false;
+        let mut disk_hit = false;
         let (check, _filled) = traced_once(&slot, || {
             if let Some(p) = &self.persist {
-                if let Some(check) = p.load_check(budget) {
+                if let Some(check) = qobs.time("session.load", |_| p.load_check(budget)) {
                     // a disk hit skips the whole pipeline, including the
                     // Petri translation the in-memory path would demand
+                    disk_hit = true;
                     return Arc::new(check);
                 }
             }
             ran = true;
             let img = self.petri();
-            let check = quick_check(&img.net, &img.complementary_pairs(), budget);
+            let check = qobs.time("session.compute", |o| {
+                rap_petri::analysis::quick_check_traced(
+                    &img.net,
+                    &img.complementary_pairs(),
+                    budget,
+                    o,
+                )
+            });
             if let Some(p) = &self.persist {
-                p.save_check(budget, &check);
+                qobs.time("session.commit", |_| p.save_check(budget, &check));
             }
             Arc::new(check)
         });
-        Counters::bump(&self.counters.check_queries, &self.counters.check_runs, ran);
+        self.meter
+            .bump2("session.check.query", "session.check.compute", ran);
+        if disk_hit {
+            self.meter.add("session.check.disk_hit", 1);
+        }
         Arc::clone(check)
     }
 
@@ -407,32 +428,36 @@ impl CompiledModel {
     ///
     /// Propagates the cached error of the throughput analysis.
     pub fn cost(&self, cost: &CostModel) -> Result<CostSummary, Error> {
+        let span = self.obs.span("session.query.cost");
+        let qobs = span.obs();
         let cache_key = cost.cache_key();
         let slot = keyed_slot(&self.costs, cache_key);
         let mut ran = false;
+        let mut disk_hit = false;
         let (res, _filled) = traced_once(&slot, || {
             if let Some(p) = &self.persist {
-                if let Some(summary) = p.load_cost(cache_key) {
+                if let Some(summary) = qobs.time("session.load", |_| p.load_cost(cache_key)) {
+                    disk_hit = true;
                     return Ok(summary);
                 }
             }
             ran = true;
             let detail = self.perf_detail()?;
-            let summary = CostSummary {
+            let summary = qobs.time("session.compute", |_| CostSummary {
                 area: cost.area(&self.dfs),
                 switched_ge_per_item: cost
                     .switched_ge_per_item(&self.dfs, &detail.activity_per_item),
-            };
+            });
             if let Some(p) = &self.persist {
-                p.save_cost(cache_key, &summary);
+                qobs.time("session.commit", |_| p.save_cost(cache_key, &summary));
             }
             Ok(summary)
         });
-        Counters::bump(
-            &self.counters.cost_queries,
-            &self.counters.cost_evaluations,
-            ran,
-        );
+        self.meter
+            .bump2("session.cost.query", "session.cost.compute", ran);
+        if disk_hit {
+            self.meter.add("session.cost.disk_hit", 1);
+        }
         res.clone()
     }
 
@@ -453,27 +478,33 @@ impl CompiledModel {
         output: NodeId,
         max_marks: u64,
     ) -> Result<SteadyStatePeriod, Error> {
+        let span = self.obs.span("session.query.steady");
+        let qobs = span.obs();
         let slot = keyed_slot(&self.steady, (output, max_marks));
         let mut ran = false;
+        let mut disk_hit = false;
         let (res, _filled) = traced_once(&slot, || {
             if let Some(p) = &self.persist {
-                if let Some(sp) = p.load_steady(output, max_marks) {
+                if let Some(sp) = qobs.time("session.load", |_| p.load_steady(output, max_marks)) {
+                    disk_hit = true;
                     return Ok(sp);
                 }
             }
             ran = true;
-            let r = measure_steady_period(&self.dfs, output, max_marks, ChoicePolicy::AlwaysTrue)
-                .map_err(Error::from);
+            let r = qobs.time("session.compute", |_| {
+                measure_steady_period(&self.dfs, output, max_marks, ChoicePolicy::AlwaysTrue)
+                    .map_err(Error::from)
+            });
             if let (Some(p), Ok(sp)) = (&self.persist, &r) {
-                p.save_steady(output, max_marks, sp);
+                qobs.time("session.commit", |_| p.save_steady(output, max_marks, sp));
             }
             r
         });
-        Counters::bump(
-            &self.counters.steady_queries,
-            &self.counters.steady_measurements,
-            ran,
-        );
+        self.meter
+            .bump2("session.steady.query", "session.steady.compute", ran);
+        if disk_hit {
+            self.meter.add("session.steady.disk_hit", 1);
+        }
         res.clone()
     }
 }

@@ -52,11 +52,12 @@ pub use faults::FaultyStorage;
 pub use storage::{DiskStorage, Storage};
 
 use frame::{decode_frame, encode_frame};
+use rap_obs::{CounterSnapshot, Meter, Obs};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The query kinds a store distinguishes. The discriminants are part of
 /// the on-disk format (they appear in file names and frame headers), so
@@ -148,7 +149,14 @@ impl std::error::Error for StoreError {}
 ///
 /// The counters are cumulative over the lifetime of the [`Store`] value
 /// (i.e. one process's tenancy of the directory, not the directory's
-/// history).
+/// history). `StoreStats` is a *view* over the store's `rap-obs` counter
+/// set — see [`StoreStats::from_counters`] for the name mapping — taken as
+/// one coherent snapshot, never a field-by-field read.
+///
+/// **Aliasing note:** a [`disk_hits`](StoreStats::disk_hits) that served a
+/// DSE evaluation is *also* counted as a memo hit by the DSE driver (which
+/// only distinguishes "ran the analysis here" from "did not"); never sum
+/// the two counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Loads served from a verified on-disk frame.
@@ -172,16 +180,27 @@ pub struct StoreStats {
     pub stale_locks_broken: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    disk_hits: AtomicU64,
-    disk_misses: AtomicU64,
-    corrupt_recovered: AtomicU64,
-    read_errors: AtomicU64,
-    bytes_written: AtomicU64,
-    bytes_read: AtomicU64,
-    write_errors: AtomicU64,
-    stale_locks_broken: AtomicU64,
+impl StoreStats {
+    /// Builds the view from a coherent counter snapshot. The taxonomy
+    /// names (see the `rap-obs` crate docs) map as:
+    /// `store.read.hit` → `disk_hits`, `store.read.miss` → `disk_misses`,
+    /// `store.quarantine` → `corrupt_recovered`, `store.read.error` →
+    /// `read_errors`, `store.write.bytes` → `bytes_written`,
+    /// `store.read.bytes` → `bytes_read`, `store.write.error` →
+    /// `write_errors`, `store.lock.stale_broken` → `stale_locks_broken`.
+    #[must_use]
+    pub fn from_counters(c: &CounterSnapshot) -> StoreStats {
+        StoreStats {
+            disk_hits: c.get("store.read.hit"),
+            disk_misses: c.get("store.read.miss"),
+            corrupt_recovered: c.get("store.quarantine"),
+            read_errors: c.get("store.read.error"),
+            bytes_written: c.get("store.write.bytes"),
+            bytes_read: c.get("store.read.bytes"),
+            write_errors: c.get("store.write.error"),
+            stale_locks_broken: c.get("store.lock.stale_broken"),
+        }
+    }
 }
 
 const LOCK_FILE: &str = "writer.lock";
@@ -197,7 +216,7 @@ const TMP_SUFFIX: &str = ".tmp";
 pub struct Store {
     dir: PathBuf,
     storage: Arc<dyn Storage>,
-    counters: Counters,
+    meter: Meter,
     /// The pid written into the lock file — removed again on drop.
     lock_pid: u32,
 }
@@ -288,15 +307,33 @@ impl Store {
         let store = Store {
             dir,
             storage,
-            counters: Counters::default(),
+            meter: Meter::new(),
             lock_pid,
         };
-        store
-            .counters
-            .stale_locks_broken
-            .store(stale_broken, Ordering::Relaxed);
+        if stale_broken > 0 {
+            store.meter.add("store.lock.stale_broken", stale_broken);
+        }
         store.sweep_orphan_temps();
         Ok(store)
+    }
+
+    /// Attaches a recorder: I/O counters are mirrored into it (under the
+    /// same `store.*` taxonomy names), read/write latency is observed in
+    /// the `store.read_ns` / `store.write_ns` log2 histograms, and every
+    /// quarantined frame emits a `store.quarantine` event naming the file.
+    ///
+    /// Must be called before the store is shared (it takes `&mut self`);
+    /// [`Store::open`] + `set_recorder` + `Session::with_store_and_recorder`
+    /// is the usual sequence, or go through `Session::open_traced`.
+    pub fn set_recorder(&mut self, obs: Obs) {
+        self.meter.set_obs(obs);
+    }
+
+    /// The attached recorder handle (detached unless
+    /// [`set_recorder`](Store::set_recorder) was called).
+    #[must_use]
+    pub fn recorder(&self) -> &Obs {
+        self.meter.obs()
     }
 
     /// Removes `*.tmp` leftovers of commits that died before their rename
@@ -333,33 +370,43 @@ impl Store {
     /// "recompute (and [`save`](Store::save)) this artifact".
     #[must_use]
     pub fn load(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
+        let start = self.meter.obs().is_enabled().then(Instant::now);
+        let result = self.load_inner(key);
+        if let Some(t0) = start {
+            self.meter.obs().observe_ns(
+                "store.read_ns",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        result
+    }
+
+    fn load_inner(&self, key: &ArtifactKey) -> Option<Vec<u8>> {
         let path = self.artifact_path(key);
         let bytes = match self.storage.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("store.read.miss", 1);
                 return None;
             }
             Err(_) => {
                 // unreadable (EIO…): count, try to get the bad frame out of
                 // the way so the rewrite is not blocked, report a miss
-                self.counters.read_errors.fetch_add(1, Ordering::Relaxed);
-                self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("store.read.error", 1);
+                self.meter.add("store.read.miss", 1);
                 self.quarantine_path(&path);
                 return None;
             }
         };
         match decode_frame(&bytes, key) {
             Some(payload) => {
-                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .bytes_read
-                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                self.meter.add("store.read.hit", 1);
+                self.meter.add("store.read.bytes", bytes.len() as u64);
                 Some(payload)
             }
             None => {
                 self.quarantine(key);
-                self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("store.read.miss", 1);
                 None
             }
         }
@@ -371,6 +418,7 @@ impl Store {
     /// query that computed the artifact. Returns whether the commit
     /// succeeded.
     pub fn save(&self, key: &ArtifactKey, payload: &[u8]) -> bool {
+        let start = self.meter.obs().is_enabled().then(Instant::now);
         let frame = encode_frame(key, payload);
         let final_path = self.artifact_path(key);
         let tmp_path = self.dir.join(format!("{}{}", key.file_name(), TMP_SUFFIX));
@@ -378,19 +426,24 @@ impl Store {
             .storage
             .write(&tmp_path, &frame)
             .and_then(|()| self.storage.rename(&tmp_path, &final_path));
-        match committed {
+        let ok = match committed {
             Ok(()) => {
-                self.counters
-                    .bytes_written
-                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                self.meter.add("store.write.bytes", frame.len() as u64);
                 true
             }
             Err(_) => {
-                self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.meter.add("store.write.error", 1);
                 let _ = self.storage.remove(&tmp_path);
                 false
             }
+        };
+        if let Some(t0) = start {
+            self.meter.obs().observe_ns(
+                "store.write_ns",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         }
+        ok
     }
 
     /// Moves `key`'s frame into `quarantine/` (falling back to deletion)
@@ -410,9 +463,10 @@ impl Store {
             // a frame we cannot move must not keep serving corrupt bytes
             let _ = self.storage.remove(path);
         }
-        self.counters
-            .corrupt_recovered
-            .fetch_add(1, Ordering::Relaxed);
+        self.meter.add("store.quarantine", 1);
+        self.meter
+            .obs()
+            .note("store.quarantine", &name.to_string_lossy(), 0);
     }
 
     /// Number of frames currently quarantined in this store's directory.
@@ -424,20 +478,11 @@ impl Store {
             .unwrap_or(0)
     }
 
-    /// Counter snapshot.
+    /// Coherent counter snapshot (one lock acquisition — related counters
+    /// can never tear apart).
     #[must_use]
     pub fn stats(&self) -> StoreStats {
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        StoreStats {
-            disk_hits: g(&self.counters.disk_hits),
-            disk_misses: g(&self.counters.disk_misses),
-            corrupt_recovered: g(&self.counters.corrupt_recovered),
-            read_errors: g(&self.counters.read_errors),
-            bytes_written: g(&self.counters.bytes_written),
-            bytes_read: g(&self.counters.bytes_read),
-            write_errors: g(&self.counters.write_errors),
-            stale_locks_broken: g(&self.counters.stale_locks_broken),
-        }
+        StoreStats::from_counters(&self.meter.snapshot())
     }
 }
 

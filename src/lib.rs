@@ -12,6 +12,9 @@
 //! * [`petri`] (`rap-petri`) — 1-safe Petri nets with read arcs and the
 //!   explicit-state reachability backend;
 //! * [`reach`] (`rap-reach`) — the Reach-style property language;
+//! * [`obs`] (`rap-obs`) — the tracing/metrics layer: attach a
+//!   [`obs::Collector`] via [`Session::with_recorder`] to profile where a
+//!   sweep spends its time (see the crate docs for the span taxonomy);
 //! * [`session`] (`rap-session`) — **the recommended entry point**: compile
 //!   models once, run typed queries (Petri image, LTS, throughput,
 //!   verification screen, silicon cost) with cross-query artifact caching
@@ -86,6 +89,7 @@
 pub use dfs_core as dfs;
 #[cfg(feature = "dse")]
 pub use rap_dse as dse;
+pub use rap_obs as obs;
 #[cfg(feature = "ope")]
 pub use rap_ope as ope;
 pub use rap_petri as petri;

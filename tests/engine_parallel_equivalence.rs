@@ -10,16 +10,25 @@
 //! with forced delta-compression (`anchor_interval` > 1). It mirrors
 //! `engine_equivalence.rs`, which pinned the serial engine against the
 //! naive explorers in PR 2.
+//!
+//! Since the observability layer landed, every parallel run here executes
+//! **with a live [`rap::obs::Collector`] attached** — the suite therefore
+//! simultaneously pins the tracing determinism contract: recording is
+//! observation-only and can never perturb state numbering, edge order,
+//! witness traces or truncation, at any thread count.
 
 use proptest::prelude::*;
 use rap::dfs::pipelines::{build_pipeline, PipelineSpec};
 use rap::dfs::wagging::wagged_pipeline;
 use rap::dfs::{to_petri, Dfs, Lts};
+use rap::obs::{Collector, Obs};
 use rap::petri::engine::EngineConfig;
 use rap::petri::reachability::{
-    explore_serial_truncated, explore_truncated, ExploreConfig, StateSpace,
+    explore_serial_truncated, explore_truncated, explore_truncated_traced, ExploreConfig,
+    StateSpace,
 };
 use rap::petri::{PetriNet, PlaceId};
+use std::sync::Arc;
 
 /// Thread counts under test: the fixed {1, 2, 8} ladder plus the
 /// `RAP_TEST_THREADS` environment override (the CI matrix sets 2).
@@ -102,7 +111,9 @@ fn assert_spaces_identical(a: &StateSpace, b: &StateSpace, ctx: &str) -> Result<
     Ok(())
 }
 
-/// Parallel at every thread count ≡ serial, for one net and budget.
+/// Parallel at every thread count ≡ serial, for one net and budget. The
+/// parallel side runs **traced** (live collector): equivalence holding
+/// here is the proof that recording is observation-only.
 fn assert_parallel_equivalent(net: &PetriNet, max_states: usize) -> Result<(), TestCaseError> {
     let serial = explore_serial_truncated(
         net,
@@ -112,15 +123,24 @@ fn assert_parallel_equivalent(net: &PetriNet, max_states: usize) -> Result<(), T
         },
     );
     for threads in thread_counts() {
-        let par = explore_truncated(
+        let collector = Arc::new(Collector::new());
+        let par = explore_truncated_traced(
             net,
             ExploreConfig {
                 max_states,
                 threads,
                 deadline: None,
             },
+            &Obs::collecting(&collector),
         );
         assert_spaces_identical(&par, &serial, &format!("threads={threads}"))?;
+        // the collector really was live: the engine flushed its counters
+        prop_assert_eq!(
+            collector.snapshot().counters.get("engine.states"),
+            par.len() as u64,
+            "threads={}: collector missed the run",
+            threads
+        );
     }
     Ok(())
 }
@@ -129,9 +149,11 @@ fn assert_lts_parallel_equivalent(dfs: &Dfs, max_states: usize) -> Result<(), Te
     let serial = Lts::explore_serial_truncated(dfs, max_states);
     for threads in thread_counts() {
         // anchor_interval 3 forces delta-compressed storage into the
-        // comparison as well
+        // comparison as well; tracing through a live collector keeps the
+        // observation-only contract under test on the LTS backend too
         for anchor_interval in [0usize, 3] {
-            let par = Lts::explore_with(
+            let collector = Arc::new(Collector::new());
+            let par = Lts::explore_with_traced(
                 dfs,
                 &EngineConfig {
                     max_states,
@@ -140,6 +162,7 @@ fn assert_lts_parallel_equivalent(dfs: &Dfs, max_states: usize) -> Result<(), Te
                     deadline: None,
                 },
                 None,
+                &Obs::collecting(&collector),
             );
             let ctx = format!("threads={threads} anchors={anchor_interval}");
             prop_assert_eq!(par.len(), serial.len(), "{}: state count", &ctx);
